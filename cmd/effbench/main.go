@@ -1,0 +1,63 @@
+// Command effbench regenerates the tables and figures of the paper's
+// evaluation section (Duck & Yap, PLDI 2018, §6) from the reproduction's
+// workloads:
+//
+//	effbench -experiment fig1    sanitizer capability matrix (Fig. 1)
+//	effbench -experiment fig7    SPEC2006 summary: checks and issues (Fig. 7)
+//	effbench -experiment fig8    SPEC2006 timings, four configurations (Fig. 8)
+//	effbench -experiment fig9    peak memory (Fig. 9)
+//	effbench -experiment fig10   browser workloads, relative time (Fig. 10)
+//	effbench -experiment tools   §6.2 overhead comparison of baseline tools
+//	effbench -experiment all     everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: fig1, fig7, fig8, fig9, fig10, tools, all")
+	repeat := flag.Int("repeat", 3, "timing repetitions (best-of) for fig8")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "effbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig1", func() error {
+		_, err := harness.Fig1(os.Stdout)
+		return err
+	})
+	run("fig7", func() error {
+		_, err := harness.Fig7(os.Stdout)
+		return err
+	})
+	run("fig8", func() error {
+		_, err := harness.Fig8(os.Stdout, *repeat)
+		return err
+	})
+	run("fig9", func() error {
+		_, err := harness.Fig9(os.Stdout)
+		return err
+	})
+	run("fig10", func() error {
+		_, err := harness.Fig10(os.Stdout)
+		return err
+	})
+	run("tools", func() error {
+		_, err := harness.ToolComparison(os.Stdout, nil)
+		return err
+	})
+}

@@ -1,0 +1,18 @@
+// Package repro is a Go reproduction of "EffectiveSan: Type and Memory
+// Error Detection using Dynamically Typed C/C++" (Gregory J. Duck and
+// Roland H. C. Yap, PLDI 2018).
+//
+// The paper's primary contribution — dynamic type checking for C/C++ via
+// low-fat pointers, per-allocation type metadata, the layout function
+// L(T,k), and the Fig. 3 instrumentation schema — lives in
+// internal/core, internal/layout, internal/lowfat and
+// internal/instrument. The substrates it needs (a simulated 64-bit
+// memory, a typed mini-C IR and interpreter, a mini-C frontend) and the
+// evaluation apparatus (baseline sanitizer models, the error-injection
+// corpus, the synthetic SPEC2006 and browser workloads, the experiment
+// harness) fill out the rest of internal/.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
+package repro

@@ -1,0 +1,92 @@
+package browser
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/mir"
+	"repro/internal/sanitizers"
+)
+
+// TestWorkloadsRunClean: every workload compiles and runs uninstrumented.
+func TestWorkloadsRunClean(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 7 {
+		t.Fatalf("got %d workloads, want 7 (the Fig. 10 bars)", len(bs))
+	}
+	for _, b := range bs {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if _, err := sanitizers.ToolUninstrumented.Exec(prog, b.Entry, io.Discard); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+// TestSeededIssueCounts: under full EffectiveSan each workload reports
+// exactly its seeded §6.3 issues (CMA typing, template-parameter casts)
+// and nothing else.
+func TestSeededIssueCounts(t *testing.T) {
+	for _, b := range Benchmarks() {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		res, err := sanitizers.ToolEffectiveSan.Exec(prog, b.Entry, io.Discard)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if got := res.Reporter.NumIssues(); got != b.Issues {
+			t.Errorf("%s: issues = %d, want %d\n%s",
+				b.Name, got, b.Issues, res.Reporter.Log())
+		}
+	}
+}
+
+// TestMultiThreadedSessions runs each workload's instrumented form from
+// multiple goroutines against ONE shared runtime — the multi-threaded
+// deployment §6.3 claims (and shadow-memory tools cannot do). Errors must
+// stay exactly at Workers x seeded issues buckets (buckets dedupe), with
+// no data-race crashes.
+func TestMultiThreadedSessions(t *testing.T) {
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ip, _ := instrument.Instrument(prog, instrument.Options{Variant: instrument.Full})
+			rt := core.NewRuntime(core.Options{Types: prog.Types})
+			in, err := mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, b.Workers)
+			for w := 0; w < b.Workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := in.Run(b.Entry); err != nil {
+						errs <- err
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			if got := rt.Reporter.NumIssues(); got != b.Issues {
+				t.Errorf("issues = %d, want %d (buckets dedupe across workers)\n%s",
+					got, b.Issues, rt.Reporter.Log())
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package bugsuite
+
+import (
+	"testing"
+)
+
+func TestCasesCompile(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Cases() {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Desc == "" {
+			t.Errorf("%s: missing description", c.Name)
+		}
+		prog, err := c.Program()
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		if prog.Funcs["main"] == nil {
+			t.Errorf("%s: no main", c.Name)
+		}
+	}
+}
+
+func TestClassCoverage(t *testing.T) {
+	counts := map[Class]int{}
+	for _, c := range Cases() {
+		counts[c.Class]++
+	}
+	// The Fig. 1 matrix needs all three capability columns populated and
+	// false-positive controls.
+	if counts[TypeConfusion] < 5 {
+		t.Errorf("TypeConfusion cases = %d, want >= 5", counts[TypeConfusion])
+	}
+	if counts[BoundsOverflow] < 3 {
+		t.Errorf("BoundsOverflow cases = %d, want >= 3", counts[BoundsOverflow])
+	}
+	if counts[Temporal] < 3 {
+		t.Errorf("Temporal cases = %d, want >= 3", counts[Temporal])
+	}
+	if counts[Clean] < 2 {
+		t.Errorf("Clean cases = %d, want >= 2", counts[Clean])
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("use-after-free") == nil {
+		t.Fatal("ByName failed on a known case")
+	}
+	if ByName("no-such-case") != nil {
+		t.Fatal("ByName invented a case")
+	}
+	// ByName must return a copy safe to mutate.
+	c := ByName("use-after-free")
+	c.Name = "mutated"
+	if ByName("use-after-free") == nil {
+		t.Fatal("ByName exposed internal state")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for _, c := range []Class{TypeConfusion, BoundsOverflow, Temporal, Extra, Clean} {
+		if c.String() == "?" {
+			t.Errorf("class %d has no name", int(c))
+		}
+	}
+}

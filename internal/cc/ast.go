@@ -1,0 +1,207 @@
+package cc
+
+import "repro/internal/ctypes"
+
+// The AST mirrors the mini-C surface syntax. Types are resolved during
+// parsing (record definitions are registered in the program's type table
+// as they are seen), so AST nodes reference *ctypes.Type directly.
+
+type file struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name  string
+	typ   *ctypes.Type // element type
+	count int64        // array length (1 for plain objects)
+	isArr bool         // declared with an array dimension
+	pos   token
+}
+
+type funcDecl struct {
+	name   string
+	ret    *ctypes.Type // nil for void
+	params []paramDecl
+	body   *blockStmt
+	pos    token
+}
+
+type paramDecl struct {
+	name string
+	typ  *ctypes.Type
+}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type blockStmt struct {
+	stmts []stmt
+}
+
+type declStmt struct {
+	name string
+	typ  *ctypes.Type
+	init expr // may be nil
+	pos  token
+}
+
+type exprStmt struct {
+	e expr
+}
+
+type ifStmt struct {
+	cond       expr
+	then, els_ stmt // els_ may be nil
+}
+
+type whileStmt struct {
+	cond expr
+	body stmt
+}
+
+type forStmt struct {
+	init stmt // declStmt or exprStmt, may be nil
+	cond expr // may be nil
+	post expr // may be nil
+	body stmt
+}
+
+type returnStmt struct {
+	e   expr // may be nil
+	pos token
+}
+
+type breakStmt struct{ pos token }
+type continueStmt struct{ pos token }
+
+func (*blockStmt) stmtNode()    {}
+func (*declStmt) stmtNode()     {}
+func (*exprStmt) stmtNode()     {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+
+// Expressions.
+
+type expr interface{ pos() token }
+
+type identExpr struct {
+	name string
+	tok  token
+}
+
+type intLit struct {
+	v   int64
+	typ *ctypes.Type // int or long depending on magnitude
+	tok token
+}
+
+type floatLit struct {
+	v   float64
+	tok token
+}
+
+type nullLit struct {
+	tok token
+}
+
+type strLit struct {
+	s   string
+	tok token
+}
+
+type unaryExpr struct {
+	op  string // "-", "!", "*", "&"
+	e   expr
+	tok token
+}
+
+type binaryExpr struct {
+	op   string
+	l, r expr
+	tok  token
+}
+
+type assignExpr struct {
+	op   string // "=", "+=", "-=", "*=", "/="
+	l, r expr
+	tok  token
+}
+
+type condExpr struct {
+	cond, then, els expr
+	tok             token
+}
+
+type castExpr struct {
+	typ *ctypes.Type
+	e   expr
+	tok token
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	tok  token
+}
+
+type indexExpr struct {
+	base, idx expr
+	tok       token
+}
+
+type fieldExpr struct {
+	base  expr
+	name  string
+	arrow bool // -> vs .
+	tok   token
+}
+
+type sizeofExpr struct {
+	typ *ctypes.Type
+	tok token
+}
+
+// mallocExpr covers malloc(n) and legacy_malloc(n). The allocation's
+// element type is inferred from context (cast or declaration) during
+// lowering — the paper's "first lvalue usage" analysis.
+type mallocExpr struct {
+	size   expr
+	legacy bool
+	tok    token
+}
+
+type reallocExpr struct {
+	p, size expr
+	tok     token
+}
+
+// newExpr is C++ new T / new T[count].
+type newExpr struct {
+	typ   *ctypes.Type
+	count expr // nil for single objects
+	tok   token
+}
+
+func (e *identExpr) pos() token   { return e.tok }
+func (e *intLit) pos() token      { return e.tok }
+func (e *floatLit) pos() token    { return e.tok }
+func (e *nullLit) pos() token     { return e.tok }
+func (e *strLit) pos() token      { return e.tok }
+func (e *unaryExpr) pos() token   { return e.tok }
+func (e *binaryExpr) pos() token  { return e.tok }
+func (e *assignExpr) pos() token  { return e.tok }
+func (e *condExpr) pos() token    { return e.tok }
+func (e *castExpr) pos() token    { return e.tok }
+func (e *callExpr) pos() token    { return e.tok }
+func (e *indexExpr) pos() token   { return e.tok }
+func (e *fieldExpr) pos() token   { return e.tok }
+func (e *sizeofExpr) pos() token  { return e.tok }
+func (e *mallocExpr) pos() token  { return e.tok }
+func (e *reallocExpr) pos() token { return e.tok }
+func (e *newExpr) pos() token     { return e.tok }

@@ -1,0 +1,109 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctypes"
+)
+
+// End-to-end flexible array member tests: the §5 FAM machinery through
+// the full pipeline (parse -> lower -> instrument -> run).
+
+func TestFAMAccessWithinAllocation(t *testing.T) {
+	src := `
+struct Blob { long n; int data[]; };
+
+int main() {
+    // Header + 10 FAM elements.
+    struct Blob *b = (struct Blob *)malloc(sizeof(struct Blob) + 10 * sizeof(int));
+    b->n = 10;
+    int *d = b->data;
+    for (int i = 0; i < 10; i++) { d[i] = i * i; }
+    int v = d[7];
+    free(b);
+    return v;
+}`
+	rt := runEff(t, src)
+	if rt.Reporter.Total() != 0 {
+		t.Fatalf("in-bounds FAM access errored:\n%s", rt.Reporter.Log())
+	}
+	if got := run(t, src, "main"); got != 49 {
+		t.Fatalf("main() = %d, want 49", got)
+	}
+}
+
+func TestFAMOverflowCaught(t *testing.T) {
+	src := `
+struct Blob2 { long n; int data[]; };
+
+int main() {
+    struct Blob2 *b = (struct Blob2 *)malloc(sizeof(struct Blob2) + 4 * sizeof(int));
+    int *d = b->data;
+    for (int i = 0; i <= 4; i++) { d[i] = i; }   // i==4: past the allocation
+    free(b);
+    return 0;
+}`
+	rt := runEff(t, src)
+	if rt.Reporter.IssuesByKind()[core.BoundsError] != 1 {
+		t.Fatalf("FAM overflow not caught:\n%s", rt.Reporter.Log())
+	}
+}
+
+func TestFAMHeaderStaysTyped(t *testing.T) {
+	src := `
+struct Blob3 { long n; int data[]; };
+
+int main() {
+    struct Blob3 *b = (struct Blob3 *)malloc(sizeof(struct Blob3) + 4 * sizeof(int));
+    float *f = (float *)b;    // header is a long, not a float
+    f[0] = 1.5;
+    free(b);
+    return 0;
+}`
+	rt := runEff(t, src)
+	if rt.Reporter.IssuesByKind()[core.TypeError] != 1 {
+		t.Fatalf("FAM header confusion not caught:\n%s", rt.Reporter.Log())
+	}
+}
+
+func TestFAMSizeof(t *testing.T) {
+	// sizeof ignores the FAM, as in C.
+	src := `
+struct Blob4 { long n; char data[]; };
+
+int main() { return sizeof(struct Blob4); }`
+	if got := run(t, src, "main"); got != 8 {
+		t.Fatalf("sizeof(Blob4) = %d, want 8", got)
+	}
+}
+
+func TestFAMParsedShape(t *testing.T) {
+	tb := ctypes.NewTable()
+	_, err := Compile(`
+struct FShape { int n; double vals[]; };
+int main() { return 0; }`, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := tb.Lookup(ctypes.KindStruct, "FShape")
+	if typ == nil || !typ.HasFAM() {
+		t.Fatal("FAM not registered through the frontend")
+	}
+	if fam := typ.FAM(); fam.Type.Elem != ctypes.Double {
+		t.Fatalf("FAM element = %s, want double", fam.Type.Elem)
+	}
+}
+
+func TestFAMRejectedMidStruct(t *testing.T) {
+	if _, err := Compile(`
+struct Bad { int a[]; int b; };
+int main() { return 0; }`, ctypes.NewTable()); err == nil {
+		t.Fatal("mid-struct FAM must be rejected")
+	}
+	if _, err := Compile(`
+union BadU { int a[]; };
+int main() { return 0; }`, ctypes.NewTable()); err == nil {
+		t.Fatal("FAM in a union must be rejected")
+	}
+}

@@ -1,0 +1,66 @@
+// Package core implements the EffectiveSan runtime (Duck & Yap, PLDI
+// 2018, §5): dynamic type binding for allocations via a low-fat object
+// metadata header, the type_check / bounds_check / bounds_narrow
+// operations of the instrumentation schema (Fig. 3 and Fig. 6), the
+// special FREE type for deallocated memory, and the error reporter with
+// the paper's issue bucketing.
+//
+// The runtime is the paper's primary contribution; everything else in
+// this repository is substrate (memory, allocator, IR, workloads) or
+// evaluation harness.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bounds is an absolute address range [Lo, Hi) that a pointer may access.
+// A pointer p may access size bytes iff Lo <= p && p+size <= Hi; it may
+// escape (be passed around) iff Lo <= p && p <= Hi, permitting C's
+// one-past-the-end pointers.
+type Bounds struct {
+	Lo, Hi uint64
+}
+
+// Wide is the "wide bounds" (0..UINTPTR_MAX) returned for legacy pointers
+// and after errors, making both non-fatal for compatibility (Fig. 6).
+var Wide = Bounds{0, math.MaxUint64}
+
+// IsWide reports whether b imposes no restriction.
+func (b Bounds) IsWide() bool { return b == Wide }
+
+// Contains reports whether an access of size bytes at p is inside b.
+func (b Bounds) Contains(p, size uint64) bool {
+	return p >= b.Lo && size <= b.Hi && p <= b.Hi-size
+}
+
+// ContainsEscape reports whether the pointer value p itself may escape
+// under b (one-past-the-end allowed).
+func (b Bounds) ContainsEscape(p uint64) bool {
+	return p >= b.Lo && p <= b.Hi
+}
+
+// Intersect returns the intersection of b and o — the bounds_narrow
+// operation of Fig. 3(e). An empty intersection collapses to a zero-width
+// range positioned at the later Lo, so all subsequent accesses fail.
+func (b Bounds) Intersect(o Bounds) Bounds {
+	r := b
+	if o.Lo > r.Lo {
+		r.Lo = o.Lo
+	}
+	if o.Hi < r.Hi {
+		r.Hi = o.Hi
+	}
+	if r.Hi < r.Lo {
+		r.Hi = r.Lo
+	}
+	return r
+}
+
+func (b Bounds) String() string {
+	if b.IsWide() {
+		return "(wide)"
+	}
+	return fmt.Sprintf("[%#x..%#x)", b.Lo, b.Hi)
+}

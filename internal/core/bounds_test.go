@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWideContainsEverything(t *testing.T) {
+	check := func(p, size uint64) bool {
+		return Wide.Contains(p, size%4096) && Wide.ContainsEscape(p)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsBasics(t *testing.T) {
+	b := Bounds{100, 200}
+	cases := []struct {
+		p, size uint64
+		want    bool
+	}{
+		{100, 1, true},
+		{100, 100, true},
+		{199, 1, true},
+		{199, 2, false},
+		{200, 0, true}, // zero-size at the end: allowed
+		{200, 1, false},
+		{99, 1, false},
+		{0, 0, false},
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.p, c.size); got != c.want {
+			t.Errorf("Contains(%d,%d) = %v, want %v", c.p, c.size, got, c.want)
+		}
+	}
+	if !b.ContainsEscape(200) {
+		t.Error("one-past-the-end pointer must be allowed to escape")
+	}
+	if b.ContainsEscape(201) || b.ContainsEscape(99) {
+		t.Error("escape outside bounds must fail")
+	}
+}
+
+// Property: Intersect is commutative and idempotent, never grows either
+// operand, and preserves containment (anything inside the result is
+// inside both operands).
+func TestIntersectProperties(t *testing.T) {
+	norm := func(lo, hi uint64) Bounds {
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		return Bounds{lo, hi}
+	}
+	commutes := func(a1, a2, b1, b2 uint64) bool {
+		a, b := norm(a1, a2), norm(b1, b2)
+		return a.Intersect(b) == b.Intersect(a)
+	}
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Fatal("commutativity:", err)
+	}
+	idempotent := func(a1, a2 uint64) bool {
+		a := norm(a1, a2)
+		return a.Intersect(a) == a
+	}
+	if err := quick.Check(idempotent, nil); err != nil {
+		t.Fatal("idempotence:", err)
+	}
+	shrinks := func(a1, a2, b1, b2 uint64) bool {
+		a, b := norm(a1, a2), norm(b1, b2)
+		r := a.Intersect(b)
+		if r.Hi == r.Lo {
+			// Disjoint operands collapse to an empty range (documented);
+			// only well-formedness applies.
+			return r.Lo >= a.Lo && r.Lo >= b.Lo
+		}
+		return r.Lo >= a.Lo && r.Lo >= b.Lo && r.Hi <= a.Hi && r.Hi <= b.Hi
+	}
+	if err := quick.Check(shrinks, nil); err != nil {
+		t.Fatal("shrinking:", err)
+	}
+	preserves := func(a1, a2, b1, b2, p uint64) bool {
+		a, b := norm(a1, a2), norm(b1, b2)
+		r := a.Intersect(b)
+		if !r.Contains(p, 1) {
+			return true
+		}
+		return a.Contains(p, 1) && b.Contains(p, 1)
+	}
+	if err := quick.Check(preserves, nil); err != nil {
+		t.Fatal("containment:", err)
+	}
+}
+
+func TestDisjointIntersectionIsEmpty(t *testing.T) {
+	a := Bounds{100, 200}
+	b := Bounds{300, 400}
+	r := a.Intersect(b)
+	if r.Hi != r.Lo {
+		t.Fatalf("disjoint intersection = %v, want empty", r)
+	}
+	if r.Contains(r.Lo, 1) {
+		t.Fatal("empty bounds must contain no access")
+	}
+}
+
+func TestBoundsString(t *testing.T) {
+	if Wide.String() != "(wide)" {
+		t.Errorf("Wide.String() = %q", Wide.String())
+	}
+	if s := (Bounds{0x10, 0x20}).String(); s == "" || s == "(wide)" {
+		t.Errorf("String() = %q", s)
+	}
+}

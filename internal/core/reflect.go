@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctypes"
+	"repro/internal/layout"
+)
+
+// Describe renders a human-readable description of the object containing
+// p: its dynamic type, extent, and the sub-objects reachable at p's
+// offset — the reflection capability the paper notes the type metadata
+// enables ("the type's size, name (for reflection) and layout
+// information", §5). It is a debugging aid: sanitizer reports point at an
+// offset, Describe says what lives there.
+func (r *Runtime) Describe(p uint64) string {
+	var sb strings.Builder
+	t, objBase, size, ok := r.DynamicType(p)
+	if !ok {
+		if p == 0 {
+			return "null pointer"
+		}
+		return fmt.Sprintf("%#x: legacy pointer (no dynamic type)", p)
+	}
+	if t == ctypes.Free {
+		fmt.Fprintf(&sb, "%#x: DEALLOCATED object (type FREE), was %d bytes at %#x",
+			p, size, objBase)
+		return sb.String()
+	}
+	elemSize := t.Size()
+	n := int64(1)
+	if elemSize > 0 {
+		n = int64(size) / elemSize
+	}
+	fmt.Fprintf(&sb, "%#x: object of dynamic type (%s[%d]), %d bytes at %#x\n",
+		p, t, n, size, objBase)
+	k := int64(p - objBase)
+	tl := r.layouts.For(t)
+	norm := tl.Normalize(k)
+	fmt.Fprintf(&sb, "  offset %d (element offset %d):\n", k, norm)
+	subs := layout.Of(t, norm)
+	if len(subs) == 0 {
+		sb.WriteString("    (no sub-object boundary at this offset)\n")
+	}
+	for _, s := range subs {
+		end := ""
+		if s.Type != ctypes.Free && s.Type.IsComplete() && s.Delta == s.Type.Size() {
+			end = " (one past the end)"
+		}
+		fmt.Fprintf(&sb, "    ⟨%s, %d⟩%s\n", s.Type, s.Delta, end)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

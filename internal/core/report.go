@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrorKind classifies a detected error.
+type ErrorKind int
+
+// The error classes EffectiveSan detects (§1).
+const (
+	TypeError ErrorKind = iota
+	BoundsError
+	UseAfterFree
+	DoubleFree
+	BadFree
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case TypeError:
+		return "type-error"
+	case BoundsError:
+		return "bounds-error"
+	case UseAfterFree:
+		return "use-after-free"
+	case DoubleFree:
+		return "double-free"
+	case BadFree:
+		return "bad-free"
+	}
+	return fmt.Sprintf("error-kind-%d", int(k))
+}
+
+// Mode selects how much detail the reporter keeps. The paper's prototype
+// has the same two modes: "logging mode is used to find errors, and
+// counting mode is used for measuring performance" (§6).
+type Mode int
+
+const (
+	// ModeLog keeps one detailed Issue per bucket.
+	ModeLog Mode = iota
+	// ModeCount only counts errors (fast path for benchmarking).
+	ModeCount
+)
+
+// Issue is one distinct error bucket. The paper buckets "by type and
+// offset to prevent the same issue from being reported at multiple
+// different program points" (§6.1); the bucket key is the error kind, the
+// static and dynamic types involved, and the offset.
+type Issue struct {
+	Kind        ErrorKind
+	StaticType  string // the type the program used the pointer at
+	DynamicType string // the allocation's bound type (t[N] rendered as t)
+	Offset      int64  // normalised offset within one element
+	Count       uint64 // occurrences
+	FirstSite   string // where the issue was first observed
+}
+
+// Message renders a one-line log message for the issue.
+func (is *Issue) Message() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: ", is.Kind)
+	switch is.Kind {
+	case TypeError:
+		fmt.Fprintf(&sb, "pointer of static type (%s[]) used at offset %d of object of dynamic type (%s)",
+			is.StaticType, is.Offset, is.DynamicType)
+	case BoundsError:
+		fmt.Fprintf(&sb, "access of (%s) outside bounds of (%s) sub-object at offset %d",
+			is.StaticType, is.DynamicType, is.Offset)
+	case UseAfterFree:
+		fmt.Fprintf(&sb, "use of deallocated object (was %s) through pointer of type (%s[])",
+			is.DynamicType, is.StaticType)
+	case DoubleFree:
+		fmt.Fprintf(&sb, "object of type (%s) freed twice", is.DynamicType)
+	case BadFree:
+		fmt.Fprintf(&sb, "free of invalid pointer (%s)", is.DynamicType)
+	}
+	if is.FirstSite != "" {
+		fmt.Fprintf(&sb, " [first at %s]", is.FirstSite)
+	}
+	fmt.Fprintf(&sb, " x%d", is.Count)
+	return sb.String()
+}
+
+type issueKey struct {
+	kind            ErrorKind
+	static, dynamic string
+	offset          int64
+}
+
+// AbortError is panicked by the reporter when the configured error limit
+// is reached ("abort after N errors for some N>=1", §6). Program drivers
+// recover it at the top level.
+type AbortError struct {
+	Errors uint64
+}
+
+func (e AbortError) Error() string {
+	return fmt.Sprintf("effectivesan: aborting after %d errors", e.Errors)
+}
+
+// Reporter collects detected errors. It is safe for concurrent use.
+type Reporter struct {
+	mode       Mode
+	abortAfter uint64 // 0 = never abort
+
+	mu      sync.Mutex
+	total   uint64
+	buckets map[issueKey]*Issue
+	order   []issueKey
+}
+
+// NewReporter returns a reporter in the given mode. If abortAfter is
+// positive, the abortAfter'th report panics with AbortError.
+func NewReporter(mode Mode, abortAfter uint64) *Reporter {
+	return &Reporter{
+		mode:       mode,
+		abortAfter: abortAfter,
+		buckets:    make(map[issueKey]*Issue),
+	}
+}
+
+// Report records one error occurrence.
+func (r *Reporter) Report(kind ErrorKind, static, dynamic string, offset int64, site string) {
+	r.mu.Lock()
+	r.total++
+	total := r.total
+	if r.mode == ModeLog {
+		key := issueKey{kind, static, dynamic, offset}
+		if is, ok := r.buckets[key]; ok {
+			is.Count++
+		} else {
+			r.buckets[key] = &Issue{
+				Kind: kind, StaticType: static, DynamicType: dynamic,
+				Offset: offset, Count: 1, FirstSite: site,
+			}
+			r.order = append(r.order, key)
+		}
+	}
+	abort := r.abortAfter > 0 && total >= r.abortAfter
+	r.mu.Unlock()
+	if abort {
+		panic(AbortError{Errors: total})
+	}
+}
+
+// Total returns the number of error occurrences reported so far.
+func (r *Reporter) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// NumIssues returns the number of distinct issue buckets (the paper's
+// "#Issues-found" metric of Fig. 7). In ModeCount it is always zero.
+func (r *Reporter) NumIssues() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buckets)
+}
+
+// Issues returns the distinct issues in first-seen order.
+func (r *Reporter) Issues() []*Issue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Issue, 0, len(r.order))
+	for _, k := range r.order {
+		cp := *r.buckets[k]
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// IssuesByKind returns how many distinct issues exist per kind.
+func (r *Reporter) IssuesByKind() map[ErrorKind]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := make(map[ErrorKind]int)
+	for _, is := range r.buckets {
+		m[is.Kind]++
+	}
+	return m
+}
+
+// Log renders all issues, sorted by kind then count (descending), one per
+// line.
+func (r *Reporter) Log() string {
+	issues := r.Issues()
+	sort.Slice(issues, func(i, j int) bool {
+		if issues[i].Kind != issues[j].Kind {
+			return issues[i].Kind < issues[j].Kind
+		}
+		return issues[i].Count > issues[j].Count
+	})
+	var sb strings.Builder
+	for _, is := range issues {
+		sb.WriteString(is.Message())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ctypes"
+	"repro/internal/layout"
+	"repro/internal/lowfat"
+	"repro/internal/mem"
+)
+
+// MetaSize is the size of the object metadata header stored at the base
+// of every typed allocation: a type id and the allocation size, 8 bytes
+// each — the paper's META = {type, size} pair (Fig. 5/6).
+const MetaSize = 16
+
+// freeTypeID is the reserved metadata type id of the FREE type.
+const freeTypeID = 1
+
+// Options configure a Runtime.
+type Options struct {
+	// Types is the program's type table. Required.
+	Types *ctypes.Table
+	// Mode selects error logging or counting (§6). Default ModeLog.
+	Mode Mode
+	// AbortAfter aborts execution (by panicking with AbortError) after
+	// this many errors; zero never aborts — the paper's default is to log
+	// all errors without stopping.
+	AbortAfter uint64
+	// Quarantine, if positive, delays reuse of freed slots (bytes held).
+	Quarantine uint64
+	// Memory optionally supplies a shared address space; a fresh one is
+	// created if nil.
+	Memory *mem.Memory
+}
+
+// Runtime is the EffectiveSan runtime system: a low-fat allocator whose
+// allocations carry dynamic type metadata, plus the type_check /
+// bounds_check operations the instrumentation schema calls. All methods
+// are safe for concurrent use.
+type Runtime struct {
+	types    *ctypes.Table
+	mem      *mem.Memory
+	heap     *lowfat.Allocator
+	layouts  *layout.Cache
+	Reporter *Reporter
+	stats    Stats
+
+	mu     sync.RWMutex
+	idOf   map[*ctypes.Type]uint64
+	typeOf []*ctypes.Type // index = id; id 0 is invalid
+}
+
+// NewRuntime returns a runtime over a fresh (or supplied) simulated
+// memory.
+func NewRuntime(opts Options) *Runtime {
+	if opts.Types == nil {
+		panic("core: Options.Types is required")
+	}
+	m := opts.Memory
+	if m == nil {
+		m = mem.New()
+	}
+	r := &Runtime{
+		types:    opts.Types,
+		mem:      m,
+		heap:     lowfat.New(m, lowfat.Options{Quarantine: opts.Quarantine}),
+		layouts:  layout.NewCache(),
+		Reporter: NewReporter(opts.Mode, opts.AbortAfter),
+		idOf:     make(map[*ctypes.Type]uint64),
+		typeOf:   []*ctypes.Type{nil, ctypes.Free}, // ids 0 (invalid), 1 (FREE)
+	}
+	r.idOf[ctypes.Free] = freeTypeID
+	return r
+}
+
+// Mem returns the simulated memory.
+func (r *Runtime) Mem() *mem.Memory { return r.mem }
+
+// Heap returns the low-fat allocator.
+func (r *Runtime) Heap() *lowfat.Allocator { return r.heap }
+
+// Types returns the runtime's type table.
+func (r *Runtime) Types() *ctypes.Table { return r.types }
+
+// Layouts returns the layout hash table cache (exposed for the ablation
+// benchmarks).
+func (r *Runtime) Layouts() *layout.Cache { return r.layouts }
+
+// typeID interns t in the metadata type registry.
+func (r *Runtime) typeID(t *ctypes.Type) uint64 {
+	r.mu.RLock()
+	id, ok := r.idOf[t]
+	r.mu.RUnlock()
+	if ok {
+		return id
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok = r.idOf[t]; ok {
+		return id
+	}
+	id = uint64(len(r.typeOf))
+	r.typeOf = append(r.typeOf, t)
+	r.idOf[t] = id
+	return id
+}
+
+func (r *Runtime) typeByID(id uint64) *ctypes.Type {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id == 0 || id >= uint64(len(r.typeOf)) {
+		return nil
+	}
+	return r.typeOf[id]
+}
+
+// AllocKind tags an allocation's storage class for statistics.
+type AllocKind int
+
+// Storage classes; all three are bound to dynamic types (§5 wraps the
+// low-fat heap, stack and global allocators alike).
+const (
+	HeapAlloc AllocKind = iota
+	StackAlloc
+	GlobalAlloc
+)
+
+// TypeMalloc allocates size bytes bound to dynamic type t[size/sizeof(t)]
+// — the paper's type_malloc (Fig. 6): a thin wrapper around the low-fat
+// allocator that stores {type, size} at the slot base and returns the
+// address just past the header. The returned memory is zeroed.
+func (r *Runtime) TypeMalloc(t *ctypes.Type, size uint64, kind AllocKind) (uint64, error) {
+	base, err := r.heap.Alloc(MetaSize + size)
+	if err != nil {
+		return 0, fmt.Errorf("type_malloc(%s, %d): %w", t, size, err)
+	}
+	r.mem.Store(base, 8, r.typeID(t))
+	r.mem.Store(base+8, 8, size)
+	switch kind {
+	case HeapAlloc:
+		r.stats.HeapAllocs.Add(1)
+	case StackAlloc:
+		r.stats.StackAllocs.Add(1)
+	case GlobalAlloc:
+		r.stats.GlobalAllocs.Add(1)
+	}
+	return base + MetaSize, nil
+}
+
+// New allocates a single object of type t (C++ `new T` / a stack or
+// global object of declared type T).
+func (r *Runtime) New(t *ctypes.Type, kind AllocKind) (uint64, error) {
+	return r.TypeMalloc(t, uint64(t.Size()), kind)
+}
+
+// NewArray allocates n objects of type t (`new T[n]` or `malloc(n *
+// sizeof(T))` with inferred type T).
+func (r *Runtime) NewArray(t *ctypes.Type, n uint64, kind AllocKind) (uint64, error) {
+	return r.TypeMalloc(t, n*uint64(t.Size()), kind)
+}
+
+// LegacyAlloc allocates from the non-low-fat legacy region, modelling
+// custom memory allocators and uninstrumented libraries. Checks on the
+// returned pointers always succeed with wide bounds.
+func (r *Runtime) LegacyAlloc(size uint64) uint64 {
+	return r.heap.LegacyAlloc(size)
+}
+
+// TypeFree deallocates the object at p: the metadata type is overwritten
+// with FREE — reducing subsequent uses to type errors (§3) — and the slot
+// is returned to the allocator, which preserves the metadata until the
+// slot is reused. Double frees and frees of non-allocation pointers are
+// reported.
+func (r *Runtime) TypeFree(p uint64, site string) {
+	r.stats.Frees.Add(1)
+	if p == 0 {
+		return // free(NULL) is a no-op
+	}
+	base := lowfat.Base(p)
+	if base == 0 {
+		// Legacy pointer: uninstrumented free, pass through silently.
+		r.stats.LegacyFrees.Add(1)
+		return
+	}
+	if p != base+MetaSize {
+		r.Reporter.Report(BadFree, "", fmt.Sprintf("%#x (interior pointer)", p), 0, site)
+		return
+	}
+	tid := r.mem.Load(base, 8)
+	if tid == freeTypeID {
+		t := "FREE"
+		r.Reporter.Report(DoubleFree, "", t, 0, site)
+		return
+	}
+	r.mem.Store(base, 8, freeTypeID)
+	// Size is preserved for diagnostics; the allocator keeps the header
+	// bytes intact until reuse.
+	if err := r.heap.Free(base); err != nil {
+		r.Reporter.Report(BadFree, "", err.Error(), 0, site)
+	}
+}
+
+// TypeRealloc reallocates p to newSize bytes, preserving the dynamic
+// type and contents, freeing the old object.
+func (r *Runtime) TypeRealloc(p uint64, newSize uint64, site string) (uint64, error) {
+	if p == 0 {
+		return 0, fmt.Errorf("type_realloc: null pointer")
+	}
+	base := lowfat.Base(p)
+	if base == 0 || p != base+MetaSize {
+		return 0, fmt.Errorf("type_realloc: %#x is not an allocation", p)
+	}
+	t := r.typeByID(r.mem.Load(base, 8))
+	if t == nil || t == ctypes.Free {
+		r.Reporter.Report(UseAfterFree, "realloc", "FREE", 0, site)
+		t = ctypes.Char
+	}
+	oldSize := r.mem.Load(base+8, 8)
+	q, err := r.TypeMalloc(t, newSize, HeapAlloc)
+	if err != nil {
+		return 0, err
+	}
+	n := min(oldSize, newSize)
+	r.mem.Copy(q, p, n)
+	r.TypeFree(p, site)
+	return q, nil
+}
+
+// DynamicType returns the dynamic type bound to the allocation containing
+// p and the allocation's base pointer and size. ok is false for legacy
+// pointers.
+func (r *Runtime) DynamicType(p uint64) (t *ctypes.Type, objBase, size uint64, ok bool) {
+	base := lowfat.Base(p)
+	if base == 0 {
+		return nil, 0, 0, false
+	}
+	t = r.typeByID(r.mem.Load(base, 8))
+	if t == nil {
+		return nil, 0, 0, false
+	}
+	return t, base + MetaSize, r.mem.Load(base+8, 8), true
+}
+
+// TypeCheck verifies that p points to a (sub-)object compatible with the
+// incomplete static type s[] and returns the matching sub-object's
+// bounds, narrowed to the allocation — the paper's type_check (Fig. 6).
+// On any failure an error is reported and wide bounds are returned, so
+// execution continues (logging semantics).
+func (r *Runtime) TypeCheck(p uint64, s *ctypes.Type, site string) Bounds {
+	r.stats.TypeChecks.Add(1)
+	if p == 0 {
+		// Null pointers are not objects; they are trapped on access, not
+		// at type checks. Counted apart from legacy pointers so the
+		// legacy ratio measures coverage of real objects.
+		r.stats.NullTypeChecks.Add(1)
+		return Wide
+	}
+	t, objBase, size, ok := r.DynamicType(p)
+	if !ok {
+		// Legacy pointer: wide bounds for compatibility (Fig. 6 line 11).
+		r.stats.LegacyTypeChecks.Add(1)
+		return Wide
+	}
+	if t == ctypes.Free {
+		r.Reporter.Report(UseAfterFree, s.String(), "FREE", 0, site)
+		return Wide
+	}
+	if p < objBase {
+		// Pointer into the metadata header: can only come from unchecked
+		// arithmetic on a legacy-ish path; report as a bounds error.
+		r.Reporter.Report(BoundsError, s.String(), t.String(), int64(p)-int64(objBase), site)
+		return Wide
+	}
+	k := int64(p - objBase)
+	if uint64(k) > size {
+		r.Reporter.Report(BoundsError, s.String(), t.String(), k, site)
+		return Wide
+	}
+	alloc := Bounds{objBase, objBase + size}
+
+	// The char[]/void coercion in the static-type direction: a pointer
+	// cast to char* (or void*'s pointee when dereferencing as raw bytes)
+	// may view the whole object, resetting bounds to the allocation
+	// (§6.1's xalancbmk discussion).
+	switch s {
+	case ctypes.Char, ctypes.UChar, ctypes.SChar, ctypes.Void:
+		return alloc
+	}
+
+	tl := r.layouts.For(t)
+	e, co, matched := tl.Match(s, k)
+	if !matched {
+		r.Reporter.Report(TypeError, s.String(), t.String(), tl.Normalize(k), site)
+		return Wide
+	}
+	switch co {
+	case layout.MatchChar:
+		r.stats.CharCoercions.Add(1)
+	case layout.MatchVoidPtr:
+		r.stats.VoidPtrCoercions.Add(1)
+	}
+	if e.FAM {
+		return Bounds{objBase + uint64(tl.FAMOffset), objBase + size}
+	}
+	b := Bounds{Lo: alloc.Lo, Hi: alloc.Hi}
+	if e.Lo != layout.UnboundedLo {
+		b.Lo = uint64(int64(p) + e.Lo)
+	}
+	if e.Hi != layout.UnboundedHi {
+		b.Hi = uint64(int64(p) + e.Hi)
+	}
+	return b.Intersect(alloc)
+}
+
+// BoundsGet returns the allocation bounds of p without any type check —
+// the reduced instrumentation of the EffectiveSan-bounds variant (§6.2),
+// comparable to allocation-bounds-only tools such as LowFat.
+func (r *Runtime) BoundsGet(p uint64) Bounds {
+	r.stats.BoundsGets.Add(1)
+	_, objBase, size, ok := r.DynamicType(p)
+	if !ok {
+		return Wide
+	}
+	return Bounds{objBase, objBase + size}
+}
+
+// BoundsNarrow narrows b to the sub-object [lo, hi) — Fig. 3(e), applied
+// by the instrumentation at field accesses.
+func (r *Runtime) BoundsNarrow(b Bounds, lo, hi uint64) Bounds {
+	r.stats.BoundsNarrows.Add(1)
+	return b.Intersect(Bounds{lo, hi})
+}
+
+// BoundsCheck verifies an access of size bytes at p against b — Fig.
+// 3(g). static names the accessed type for the report. It returns true
+// if the access is in bounds.
+func (r *Runtime) BoundsCheck(p uint64, size uint64, b Bounds, static, site string) bool {
+	r.stats.BoundsChecks.Add(1)
+	if b.Contains(p, size) {
+		return true
+	}
+	r.reportBounds(p, static, site)
+	return false
+}
+
+// EscapeCheck verifies that the pointer value p may escape under b (the
+// pointer-escape discipline of Fig. 3(g), inherited from low-fat
+// pointers: escaping pointers must stay within their object's bounds so
+// future checks can re-derive their type).
+func (r *Runtime) EscapeCheck(p uint64, b Bounds, site string) bool {
+	r.stats.BoundsChecks.Add(1)
+	if b.ContainsEscape(p) {
+		return true
+	}
+	r.reportBounds(p, "escaping pointer", site)
+	return false
+}
+
+func (r *Runtime) reportBounds(p uint64, static, site string) {
+	dyn := "legacy"
+	var off int64
+	if t, objBase, _, ok := r.DynamicType(p); ok {
+		dyn = t.String()
+		off = int64(p) - int64(objBase)
+		if t != ctypes.Free && t.IsComplete() && t.Size() > 0 {
+			off = r.layouts.For(t).Normalize(off)
+		}
+	}
+	r.Reporter.Report(BoundsError, static, dyn, off, site)
+}

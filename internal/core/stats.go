@@ -1,0 +1,69 @@
+package core
+
+import "sync/atomic"
+
+// Stats holds the runtime's check counters, the quantities reported in
+// Fig. 7 (#Type, #Bound) and the legacy-pointer coverage ratio (§6.1).
+// All fields are updated atomically; read a consistent view via Snapshot.
+type Stats struct {
+	TypeChecks       atomic.Uint64
+	NullTypeChecks   atomic.Uint64
+	LegacyTypeChecks atomic.Uint64
+	BoundsChecks     atomic.Uint64
+	BoundsGets       atomic.Uint64
+	BoundsNarrows    atomic.Uint64
+	CharCoercions    atomic.Uint64
+	VoidPtrCoercions atomic.Uint64
+
+	HeapAllocs   atomic.Uint64
+	StackAllocs  atomic.Uint64
+	GlobalAllocs atomic.Uint64
+	Frees        atomic.Uint64
+	LegacyFrees  atomic.Uint64
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	TypeChecks       uint64
+	NullTypeChecks   uint64
+	LegacyTypeChecks uint64
+	BoundsChecks     uint64
+	BoundsGets       uint64
+	BoundsNarrows    uint64
+	CharCoercions    uint64
+	VoidPtrCoercions uint64
+
+	HeapAllocs   uint64
+	StackAllocs  uint64
+	GlobalAllocs uint64
+	Frees        uint64
+	LegacyFrees  uint64
+}
+
+// Stats returns a snapshot of the runtime's counters.
+func (r *Runtime) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		TypeChecks:       r.stats.TypeChecks.Load(),
+		NullTypeChecks:   r.stats.NullTypeChecks.Load(),
+		LegacyTypeChecks: r.stats.LegacyTypeChecks.Load(),
+		BoundsChecks:     r.stats.BoundsChecks.Load(),
+		BoundsGets:       r.stats.BoundsGets.Load(),
+		BoundsNarrows:    r.stats.BoundsNarrows.Load(),
+		CharCoercions:    r.stats.CharCoercions.Load(),
+		VoidPtrCoercions: r.stats.VoidPtrCoercions.Load(),
+		HeapAllocs:       r.stats.HeapAllocs.Load(),
+		StackAllocs:      r.stats.StackAllocs.Load(),
+		GlobalAllocs:     r.stats.GlobalAllocs.Load(),
+		Frees:            r.stats.Frees.Load(),
+		LegacyFrees:      r.stats.LegacyFrees.Load(),
+	}
+}
+
+// LegacyRatio returns the fraction of type checks performed on legacy
+// pointers — the paper reports ~1.1% for SPEC2006, its coverage metric.
+func (s StatsSnapshot) LegacyRatio() float64 {
+	if s.TypeChecks == 0 {
+		return 0
+	}
+	return float64(s.LegacyTypeChecks) / float64(s.TypeChecks)
+}

@@ -1,0 +1,399 @@
+package ctypes
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a C type expression and returns the corresponding interned
+// type. The grammar covers the forms the runtime and test-suites need:
+//
+//	int, unsigned long, char *, float[10], int[], int *[4], int (*)[4],
+//	void (*)(int, char *), struct S, struct S { int a[3]; char *s; },
+//	union U { float a[10]; float b[20]; },
+//	class D : B { int x; }, struct F { int n; char data[]; }
+//
+// Record definitions are registered in the table by tag, so later
+// references to "struct S" resolve to the same type. Parsing a body for an
+// already-complete tag is an error (a redefinition); use Table.Redeclare to
+// model deliberately incompatible same-tag definitions.
+func (tb *Table) Parse(src string) (t *Type, err error) {
+	defer func() {
+		// Internal helpers report malformed input via panic(parseError);
+		// convert to an error at the API boundary (the classic recover
+		// idiom). Other panics propagate: they are bugs, not bad input.
+		if e := recover(); e != nil {
+			pe, ok := e.(parseError)
+			if !ok {
+				panic(e)
+			}
+			t, err = nil, fmt.Errorf("ctypes: parse %q: %s", src, string(pe))
+		}
+	}()
+	p := &typeParser{tb: tb, toks: lexType(src)}
+	base := p.parseBaseType()
+	name, build := p.parseDeclarator()
+	if name != "" {
+		p.fail("unexpected declarator name %q in type expression", name)
+	}
+	if !p.atEnd() {
+		p.fail("trailing tokens at %q", p.peek())
+	}
+	return build(base), nil
+}
+
+// MustParse is Parse but panics on malformed input. It is intended for
+// type literals in tests and workload definitions.
+func (tb *Table) MustParse(src string) *Type {
+	t, err := tb.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parseError string
+
+type typeParser struct {
+	tb   *Table
+	toks []string
+	pos  int
+}
+
+func (p *typeParser) fail(format string, args ...any) {
+	panic(parseError(fmt.Sprintf(format, args...)))
+}
+
+func (p *typeParser) atEnd() bool { return p.pos >= len(p.toks) }
+
+func (p *typeParser) peek() string {
+	if p.atEnd() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *typeParser) next() string {
+	t := p.peek()
+	if t == "" {
+		p.fail("unexpected end of input")
+	}
+	p.pos++
+	return t
+}
+
+func (p *typeParser) eat(tok string) bool {
+	if p.peek() == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *typeParser) expect(tok string) {
+	if !p.eat(tok) {
+		p.fail("expected %q, found %q", tok, p.peek())
+	}
+}
+
+// parseBaseType parses the specifier part of a type: a (possibly
+// multi-word) fundamental type or a record reference/definition.
+func (p *typeParser) parseBaseType() *Type {
+	switch p.peek() {
+	case "struct":
+		p.next()
+		return p.parseRecord(KindStruct)
+	case "union":
+		p.next()
+		return p.parseRecord(KindUnion)
+	case "class":
+		p.next()
+		return p.parseRecord(KindClass)
+	case "void":
+		p.next()
+		return Void
+	case "bool":
+		p.next()
+		return Bool
+	case "float":
+		p.next()
+		return Float
+	case "double":
+		p.next()
+		return Double
+	case "FREE":
+		p.next()
+		return Free
+	}
+	// Multi-word integer specifiers. Collect the keyword run and map it.
+	words := []string{}
+	for {
+		switch p.peek() {
+		case "signed", "unsigned", "char", "short", "int", "long", "double":
+			words = append(words, p.next())
+			continue
+		}
+		break
+	}
+	if len(words) == 0 {
+		p.fail("expected type, found %q", p.peek())
+	}
+	key := strings.Join(words, " ")
+	t, ok := intSpecifiers[key]
+	if !ok {
+		p.fail("unknown type specifier %q", key)
+	}
+	return t
+}
+
+var intSpecifiers = map[string]*Type{
+	"char":                   Char,
+	"signed char":            SChar,
+	"unsigned char":          UChar,
+	"short":                  Short,
+	"short int":              Short,
+	"signed short":           Short,
+	"unsigned short":         UShort,
+	"unsigned short int":     UShort,
+	"int":                    Int,
+	"signed":                 Int,
+	"signed int":             Int,
+	"unsigned":               UInt,
+	"unsigned int":           UInt,
+	"long":                   Long,
+	"long int":               Long,
+	"signed long":            Long,
+	"unsigned long":          ULong,
+	"unsigned long int":      ULong,
+	"long long":              LongLong,
+	"long long int":          LongLong,
+	"signed long long":       LongLong,
+	"unsigned long long":     ULongLong,
+	"unsigned long long int": ULongLong,
+	"long double":            LongDouble,
+}
+
+// parseRecord parses what follows a struct/union/class keyword: a tag, an
+// optional base-class list (classes/structs), and an optional body.
+func (p *typeParser) parseRecord(kind Kind) *Type {
+	tag := ""
+	if t := p.peek(); t != "" && isIdentTok(t) {
+		tag = p.next()
+	}
+	var bases []Member
+	if p.eat(":") {
+		if kind == KindUnion {
+			p.fail("union cannot have base classes")
+		}
+		for {
+			p.eat("public") // access specifiers are layout-irrelevant
+			p.eat("virtual")
+			baseTag := p.next()
+			if !isIdentTok(baseTag) {
+				p.fail("expected base class name, found %q", baseTag)
+			}
+			base := p.tb.Lookup(KindClass, baseTag)
+			if base == nil {
+				base = p.tb.Lookup(KindStruct, baseTag)
+			}
+			if base == nil {
+				p.fail("unknown base class %q", baseTag)
+			}
+			bases = append(bases, Member{Name: "__base_" + baseTag, Type: base, IsBase: true})
+			if !p.eat(",") {
+				break
+			}
+		}
+	}
+	if p.peek() != "{" {
+		if len(bases) > 0 {
+			p.fail("base class list requires a body")
+		}
+		if tag == "" {
+			p.fail("anonymous record requires a body")
+		}
+		return p.tb.Declare(kind, tag)
+	}
+	p.expect("{")
+	members := bases
+	for !p.eat("}") {
+		members = append(members, p.parseMembers()...)
+	}
+	for i, m := range members {
+		if m.Type.IsIncompleteArray() && (i != len(members)-1 || kind == KindUnion) {
+			p.fail("flexible array member %q must be the last struct member", m.Name)
+		}
+	}
+	if tag == "" {
+		return p.tb.Anon(kind, members)
+	}
+	t := p.tb.Declare(kind, tag)
+	if t.complete {
+		p.fail("redefinition of %s", t)
+	}
+	return p.tb.Complete(t, members)
+}
+
+// parseMembers parses one member declaration line: a base type followed by
+// one or more comma-separated declarators, terminated by ';'.
+func (p *typeParser) parseMembers() []Member {
+	base := p.parseBaseType()
+	var out []Member
+	for {
+		name, build := p.parseDeclarator()
+		if name == "" {
+			p.fail("record member missing a name")
+		}
+		out = append(out, Member{Name: name, Type: build(base)})
+		if !p.eat(",") {
+			break
+		}
+	}
+	p.expect(";")
+	return out
+}
+
+// parseDeclarator parses a (possibly abstract) C declarator and returns
+// the declared name ("" if abstract) and a builder that wraps a base type
+// into the declared type, honouring the usual inside-out C rules:
+// pointers bind before the direct declarator's array/function suffixes,
+// and parenthesised declarators invert that.
+func (p *typeParser) parseDeclarator() (string, func(*Type) *Type) {
+	nptr := 0
+	for p.eat("*") {
+		nptr++
+	}
+	name, direct := p.parseDirectDeclarator()
+	return name, func(t *Type) *Type {
+		for i := 0; i < nptr; i++ {
+			t = p.tb.PointerTo(t)
+		}
+		return direct(t)
+	}
+}
+
+func (p *typeParser) parseDirectDeclarator() (string, func(*Type) *Type) {
+	name := ""
+	inner := func(t *Type) *Type { return t }
+	switch {
+	case p.peek() == "(" && p.pos+1 < len(p.toks) && (p.toks[p.pos+1] == "*" || p.toks[p.pos+1] == "("):
+		p.expect("(")
+		name, inner = p.parseDeclarator()
+		p.expect(")")
+	case isIdentTok(p.peek()):
+		name = p.next()
+	}
+
+	// Suffixes: array bounds and function parameter lists. They apply
+	// outside-in, i.e. the first suffix is the outermost type constructor.
+	type suffix struct {
+		arr    bool
+		n      int64 // IncompleteLen for T[]
+		params []*Type
+	}
+	var suffixes []suffix
+	for {
+		if p.eat("[") {
+			if p.eat("]") {
+				suffixes = append(suffixes, suffix{arr: true, n: IncompleteLen})
+				continue
+			}
+			numTok := p.next()
+			n, err := strconv.ParseInt(numTok, 0, 64)
+			if err != nil || n < 0 {
+				p.fail("bad array length %q", numTok)
+			}
+			p.expect("]")
+			suffixes = append(suffixes, suffix{arr: true, n: n})
+			continue
+		}
+		if p.peek() == "(" {
+			p.expect("(")
+			var params []*Type
+			if !p.eat(")") {
+				for {
+					if p.eat("void") && p.peek() == ")" {
+						break
+					}
+					pb := p.parseBaseType()
+					pname, pbuild := p.parseDeclarator()
+					_ = pname // parameter names are irrelevant to the type
+					params = append(params, pbuild(pb))
+					if !p.eat(",") {
+						break
+					}
+				}
+				p.expect(")")
+			}
+			suffixes = append(suffixes, suffix{params: params})
+			continue
+		}
+		break
+	}
+
+	return name, func(t *Type) *Type {
+		for i := len(suffixes) - 1; i >= 0; i-- {
+			s := suffixes[i]
+			if s.arr {
+				if s.n == IncompleteLen {
+					t = p.tb.IncompleteArrayOf(t)
+				} else {
+					t = p.tb.ArrayOf(t, s.n)
+				}
+			} else {
+				t = p.tb.FuncType(t, s.params...)
+			}
+		}
+		return inner(t)
+	}
+}
+
+func isIdentTok(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if r == '_' || unicode.IsLetter(r) || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	switch s {
+	case "struct", "union", "class", "public", "virtual", "void", "bool",
+		"char", "short", "int", "long", "float", "double", "signed", "unsigned":
+		return false
+	}
+	return true
+}
+
+// lexType splits a type expression into tokens: identifiers, integers, and
+// single-character punctuation.
+func lexType(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) {
+				d := src[j]
+				if d == '_' || unicode.IsLetter(rune(d)) || unicode.IsDigit(rune(d)) {
+					j++
+					continue
+				}
+				break
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			toks = append(toks, string(c))
+			i++
+		}
+	}
+	return toks
+}

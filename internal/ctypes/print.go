@@ -1,0 +1,99 @@
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders t in C-like syntax. Tagged records render by tag (the
+// paper's convention: "(S) is short for (struct S)"); anonymous records
+// render their full member list. Incomplete arrays render as T[].
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil-type>"
+	}
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindBool:
+		return "bool"
+	case KindChar:
+		return "char"
+	case KindSChar:
+		return "signed char"
+	case KindUChar:
+		return "unsigned char"
+	case KindShort:
+		return "short"
+	case KindUShort:
+		return "unsigned short"
+	case KindInt:
+		return "int"
+	case KindUInt:
+		return "unsigned int"
+	case KindLong:
+		return "long"
+	case KindULong:
+		return "unsigned long"
+	case KindLongLong:
+		return "long long"
+	case KindULongLong:
+		return "unsigned long long"
+	case KindFloat:
+		return "float"
+	case KindDouble:
+		return "double"
+	case KindLongDouble:
+		return "long double"
+	case KindFree:
+		return "FREE"
+	case KindPointer:
+		if t.Elem.Kind == KindFunc {
+			return t.Elem.funcString("(*)")
+		}
+		return t.Elem.String() + " *"
+	case KindArray:
+		if t.Len == IncompleteLen {
+			return t.Elem.String() + "[]"
+		}
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case KindFunc:
+		return t.funcString("")
+	case KindStruct, KindUnion, KindClass:
+		kw := map[Kind]string{KindStruct: "struct", KindUnion: "union", KindClass: "class"}[t.Kind]
+		if t.Tag != "" {
+			if t.redecl > 0 {
+				return fmt.Sprintf("%s %s#%d", kw, t.Tag, t.redecl)
+			}
+			return kw + " " + t.Tag
+		}
+		var sb strings.Builder
+		sb.WriteString(kw)
+		sb.WriteString(" {")
+		for i, f := range t.Fields {
+			if i > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%s %s;", f.Type, f.Name)
+		}
+		sb.WriteString("}")
+		return sb.String()
+	}
+	return fmt.Sprintf("<type kind=%d>", t.Kind)
+}
+
+func (t *Type) funcString(inner string) string {
+	var sb strings.Builder
+	sb.WriteString(t.Ret.String())
+	sb.WriteString(" ")
+	sb.WriteString(inner)
+	sb.WriteString("(")
+	for i, p := range t.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

@@ -1,0 +1,530 @@
+// Package ctypes models the C/C++ type system as required by EffectiveSan's
+// dynamic type checking (Duck & Yap, PLDI 2018, §3).
+//
+// The model covers all standard C/C++ object types: fundamental types,
+// pointers, function types, complete and incomplete arrays, structures,
+// unions, and classes with (multiple) inheritance and flexible array
+// members. Qualifiers are not represented (the paper strips them: they do
+// not affect memory layout or access, C11 §6.5.0 ¶7), enumerations are
+// treated as int, and C++ references as pointers — the same simplifications
+// the EffectiveSan prototype makes.
+//
+// Types are hash-consed inside a Table, so two types are equivalent exactly
+// when they are the same *Type pointer. Tagged records (struct/union/class)
+// are equivalent based on tag; anonymous records based on layout. This
+// mirrors the paper's equivalence rules and makes the runtime type check a
+// pointer comparison.
+//
+// All sizes and offsets follow the x86_64 System V data model (the paper's
+// evaluation platform): char is 1 byte, int 4, long and pointers 8, with
+// natural alignment and standard struct padding.
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates the shape of a Type.
+type Kind int
+
+// The kinds of C/C++ types modelled by this package.
+const (
+	KindVoid Kind = iota
+	KindBool
+	KindChar  // plain char (distinct from signed/unsigned char, as in C)
+	KindSChar // signed char
+	KindUChar // unsigned char
+	KindShort
+	KindUShort
+	KindInt
+	KindUInt
+	KindLong
+	KindULong
+	KindLongLong
+	KindULongLong
+	KindFloat
+	KindDouble
+	KindLongDouble
+	KindPointer
+	KindArray // complete (Len >= 0) or incomplete (Len == IncompleteLen)
+	KindStruct
+	KindUnion
+	KindClass
+	KindFunc
+	KindFree // the special type bound to deallocated memory (paper Fig. 2(h))
+)
+
+// IncompleteLen is the Len of an incomplete array type T[].
+const IncompleteLen = -1
+
+// PointerSize is the size in bytes of every pointer type (x86_64).
+const PointerSize = 8
+
+// Field describes one member of a struct, union or class. Base classes are
+// represented as leading embedded fields with IsBase set, matching the
+// paper's treatment ("we consider any base class to be an implicit embedded
+// member").
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int64 // byte offset from the start of the record (0 in unions)
+	IsBase bool  // embedded base class sub-object
+	IsFAM  bool  // flexible array member (must be last, incomplete array)
+}
+
+// Type is one C/C++ type. Types must be created through a Table (or taken
+// from the fundamental singletons) and are immutable once complete; this
+// makes them safe for concurrent use and makes pointer identity coincide
+// with type equivalence.
+type Type struct {
+	Kind Kind
+	Tag  string // struct/union/class tag ("" for anonymous records)
+
+	Elem *Type // pointee (KindPointer) or element (KindArray)
+	Len  int64 // array length, or IncompleteLen
+
+	Fields []Field // record members, in declaration order (bases first)
+
+	Ret    *Type   // function return type
+	Params []*Type // function parameter types
+
+	size  int64 // cached; -1 until computed, see Size
+	align int64 // cached; 0 until computed
+
+	complete bool // records: fields have been installed
+	redecl   int  // >0 for re-declared tags (incompatible same-tag types)
+}
+
+// Fundamental type singletons. These are shared by every Table.
+var (
+	Void       = &Type{Kind: KindVoid, size: 1, align: 1} // sizeof(void)==1 (GNU)
+	Bool       = &Type{Kind: KindBool, size: 1, align: 1}
+	Char       = &Type{Kind: KindChar, size: 1, align: 1}
+	SChar      = &Type{Kind: KindSChar, size: 1, align: 1}
+	UChar      = &Type{Kind: KindUChar, size: 1, align: 1}
+	Short      = &Type{Kind: KindShort, size: 2, align: 2}
+	UShort     = &Type{Kind: KindUShort, size: 2, align: 2}
+	Int        = &Type{Kind: KindInt, size: 4, align: 4}
+	UInt       = &Type{Kind: KindUInt, size: 4, align: 4}
+	Long       = &Type{Kind: KindLong, size: 8, align: 8}
+	ULong      = &Type{Kind: KindULong, size: 8, align: 8}
+	LongLong   = &Type{Kind: KindLongLong, size: 8, align: 8}
+	ULongLong  = &Type{Kind: KindULongLong, size: 8, align: 8}
+	Float      = &Type{Kind: KindFloat, size: 4, align: 4}
+	Double     = &Type{Kind: KindDouble, size: 8, align: 8}
+	LongDouble = &Type{Kind: KindLongDouble, size: 16, align: 16}
+
+	// Free is the special type bound to deallocated objects (§3). It is
+	// distinct from every C/C++ type, which reduces use-after-free and
+	// double-free errors to type errors.
+	Free = &Type{Kind: KindFree, Tag: "FREE", size: 1, align: 1}
+)
+
+// IsInteger reports whether t is an integer type (including bool and char).
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case KindBool, KindChar, KindSChar, KindUChar, KindShort, KindUShort,
+		KindInt, KindUInt, KindLong, KindULong, KindLongLong, KindULongLong:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a floating-point type.
+func (t *Type) IsFloat() bool {
+	switch t.Kind {
+	case KindFloat, KindDouble, KindLongDouble:
+		return true
+	}
+	return false
+}
+
+// IsSigned reports whether t is a signed integer type.
+func (t *Type) IsSigned() bool {
+	switch t.Kind {
+	case KindChar, KindSChar, KindShort, KindInt, KindLong, KindLongLong:
+		return true
+	}
+	return false
+}
+
+// IsScalar reports whether t is a scalar (integer, float, or pointer).
+func (t *Type) IsScalar() bool {
+	return t.IsInteger() || t.IsFloat() || t.Kind == KindPointer
+}
+
+// IsRecord reports whether t is a struct, union, or class.
+func (t *Type) IsRecord() bool {
+	return t.Kind == KindStruct || t.Kind == KindUnion || t.Kind == KindClass
+}
+
+// IsIncompleteArray reports whether t is an incomplete array type T[].
+func (t *Type) IsIncompleteArray() bool {
+	return t.Kind == KindArray && t.Len == IncompleteLen
+}
+
+// IsComplete reports whether t has a known size: incomplete arrays and
+// forward-declared records are not complete. Dynamic types are always
+// complete (§3); static pointee types may be incomplete.
+func (t *Type) IsComplete() bool {
+	switch t.Kind {
+	case KindArray:
+		return t.Len != IncompleteLen && t.Elem.IsComplete()
+	case KindStruct, KindUnion, KindClass:
+		return t.complete
+	case KindFunc:
+		return false
+	}
+	return true
+}
+
+// Size returns sizeof(t) in bytes. It panics for types without a size
+// (incomplete arrays, forward-declared records, function types); callers
+// checking untrusted types should test IsComplete first.
+func (t *Type) Size() int64 {
+	if t.size < 0 {
+		panic(fmt.Sprintf("ctypes: sizeof applied to incomplete type %s", t))
+	}
+	return t.size
+}
+
+// Align returns the alignment requirement of t in bytes.
+func (t *Type) Align() int64 {
+	if t.align <= 0 {
+		panic(fmt.Sprintf("ctypes: alignof applied to incomplete type %s", t))
+	}
+	return t.align
+}
+
+// HasFAM reports whether t is a record whose last member is a flexible
+// array member (directly, not through nesting).
+func (t *Type) HasFAM() bool {
+	if !t.IsRecord() || len(t.Fields) == 0 {
+		return false
+	}
+	return t.Fields[len(t.Fields)-1].IsFAM
+}
+
+// FAM returns the flexible array member field, or nil.
+func (t *Type) FAM() *Field {
+	if !t.HasFAM() {
+		return nil
+	}
+	return &t.Fields[len(t.Fields)-1]
+}
+
+// FieldByName returns the field with the given name and true, or a zero
+// Field and false. Base-class sub-objects are searched by their tag.
+func (t *Type) FieldByName(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Offsetof returns the byte offset of the named direct member, mirroring
+// the ANSI C offsetof operator used in the paper's Fig. 2 rules (e)-(g).
+func (t *Type) Offsetof(name string) (int64, bool) {
+	f, ok := t.FieldByName(name)
+	if !ok {
+		return 0, false
+	}
+	return f.Offset, true
+}
+
+// HasBase reports whether class/struct t has base (directly or
+// transitively). It is used to recognise always-safe C++ upcasts, one of
+// the prototype's check-elision optimisations (§6).
+func (t *Type) HasBase(base *Type) bool {
+	if !t.IsRecord() {
+		return false
+	}
+	for _, f := range t.Fields {
+		if !f.IsBase {
+			continue
+		}
+		if f.Type == base || f.Type.HasBase(base) {
+			return true
+		}
+	}
+	return false
+}
+
+// Table creates and interns types. A Table corresponds to one program: all
+// types used together at runtime must come from the same Table so that
+// equivalence is pointer identity. The zero value is not usable; call
+// NewTable.
+type Table struct {
+	mu      sync.Mutex
+	ptrs    map[*Type]*Type  // pointee -> pointer type
+	arrs    map[arrKey]*Type // (elem, len) -> array type
+	funcs   map[string]*Type // signature -> func type
+	tags    map[string]*Type // "struct S" -> record type
+	anon    map[string]*Type // structural signature -> anonymous record
+	redecls int              // counter for Redeclare
+}
+
+type arrKey struct {
+	elem *Type
+	n    int64
+}
+
+// NewTable returns an empty type table.
+func NewTable() *Table {
+	return &Table{
+		ptrs:  make(map[*Type]*Type),
+		arrs:  make(map[arrKey]*Type),
+		funcs: make(map[string]*Type),
+		tags:  make(map[string]*Type),
+		anon:  make(map[string]*Type),
+	}
+}
+
+// PointerTo returns the interned pointer type *elem.
+func (tb *Table) PointerTo(elem *Type) *Type {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if p, ok := tb.ptrs[elem]; ok {
+		return p
+	}
+	p := &Type{Kind: KindPointer, Elem: elem, size: PointerSize, align: PointerSize}
+	tb.ptrs[elem] = p
+	return p
+}
+
+// ArrayOf returns the interned complete array type elem[n]. n must be
+// non-negative and elem complete.
+func (tb *Table) ArrayOf(elem *Type, n int64) *Type {
+	if n < 0 {
+		panic("ctypes: ArrayOf with negative length")
+	}
+	if !elem.IsComplete() {
+		panic(fmt.Sprintf("ctypes: array of incomplete type %s", elem))
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	k := arrKey{elem, n}
+	if a, ok := tb.arrs[k]; ok {
+		return a
+	}
+	a := &Type{Kind: KindArray, Elem: elem, Len: n,
+		size: n * elem.Size(), align: elem.Align()}
+	tb.arrs[k] = a
+	return a
+}
+
+// IncompleteArrayOf returns the interned incomplete array type elem[].
+// Incomplete arrays appear as static types in checks ("T[]") and as
+// flexible array members; they have no size.
+func (tb *Table) IncompleteArrayOf(elem *Type) *Type {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	k := arrKey{elem, IncompleteLen}
+	if a, ok := tb.arrs[k]; ok {
+		return a
+	}
+	a := &Type{Kind: KindArray, Elem: elem, Len: IncompleteLen,
+		size: -1, align: elem.align}
+	tb.arrs[k] = a
+	return a
+}
+
+// FuncType returns the interned function type ret(params...). Function
+// types have no size; objects never have function type, but pointers to
+// functions are first-class.
+func (tb *Table) FuncType(ret *Type, params ...*Type) *Type {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%p(", ret))
+	for _, p := range params {
+		fmt.Fprintf(&sb, "%p,", p)
+	}
+	sb.WriteByte(')')
+	sig := sb.String()
+
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if f, ok := tb.funcs[sig]; ok {
+		return f
+	}
+	f := &Type{Kind: KindFunc, Ret: ret, Params: append([]*Type(nil), params...),
+		size: -1, align: 1}
+	tb.funcs[sig] = f
+	return f
+}
+
+// Lookup returns the record type previously declared with the given kind
+// and tag, or nil.
+func (tb *Table) Lookup(kind Kind, tag string) *Type {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.tags[tagKey(kind, tag)]
+}
+
+func tagKey(kind Kind, tag string) string {
+	switch kind {
+	case KindStruct:
+		return "struct " + tag
+	case KindUnion:
+		return "union " + tag
+	case KindClass:
+		return "class " + tag
+	}
+	panic("ctypes: tagKey on non-record kind")
+}
+
+// Declare returns the (possibly forward-declared, incomplete) record type
+// with the given kind and tag, creating it if necessary. Fields are
+// installed later with Complete. Tagged records are equivalent based on
+// tag, so repeated Declare calls return the same *Type.
+func (tb *Table) Declare(kind Kind, tag string) *Type {
+	if tag == "" {
+		panic("ctypes: Declare requires a tag; use Anon for anonymous records")
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	key := tagKey(kind, tag)
+	if t, ok := tb.tags[key]; ok {
+		if t.Kind != kind {
+			panic(fmt.Sprintf("ctypes: tag %q redeclared with different kind", tag))
+		}
+		return t
+	}
+	t := &Type{Kind: kind, Tag: tag, size: -1}
+	tb.tags[key] = t
+	return t
+}
+
+// Redeclare creates a fresh record type with the same kind and display tag
+// as an existing one but a distinct identity. This models translation units
+// with incompatible definitions for the same tag — a real type-error class
+// EffectiveSan found in SPEC2006 gcc (§6.1). The new type does not replace
+// the registered one.
+func (tb *Table) Redeclare(kind Kind, tag string) *Type {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.redecls++
+	return &Type{Kind: kind, Tag: tag, size: -1, redecl: tb.redecls}
+}
+
+// Member is one member in a record definition passed to Complete or Anon.
+type Member struct {
+	Name   string
+	Type   *Type
+	IsBase bool // embedded base class; must precede named members
+}
+
+// Complete installs the members of a previously declared record and
+// computes its layout (offsets, size, alignment) under x86_64 rules:
+// members are placed at the next offset aligned to their alignment, the
+// record is padded to a multiple of its maximal member alignment, and all
+// union members sit at offset zero. A trailing incomplete-array member is
+// treated as a flexible array member: it contributes no size, and the
+// layout machinery later treats it as a one-element array (§5).
+//
+// Complete panics if t is already complete or if a non-final member has an
+// incomplete type.
+func (tb *Table) Complete(t *Type, members []Member) *Type {
+	if !t.IsRecord() {
+		panic("ctypes: Complete on non-record type")
+	}
+	if t.complete {
+		panic(fmt.Sprintf("ctypes: %s completed twice", t))
+	}
+	fields, size, align := layoutRecord(t.Kind, members)
+	t.Fields = fields
+	t.size = size
+	t.align = align
+	t.complete = true
+	return t
+}
+
+// Anon returns an interned anonymous record with the given members.
+// Anonymous records are equivalent based on layout, so two Anon calls with
+// identical members yield the same *Type (§3: "in the case of anonymous
+// types, based on layout").
+func (tb *Table) Anon(kind Kind, members []Member) *Type {
+	fields, size, align := layoutRecord(kind, members)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:", kind)
+	for _, f := range fields {
+		fmt.Fprintf(&sb, "%s@%d:%p;", f.Name, f.Offset, f.Type)
+	}
+	sig := sb.String()
+
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if t, ok := tb.anon[sig]; ok {
+		return t
+	}
+	t := &Type{Kind: kind, Fields: fields, size: size, align: align, complete: true}
+	tb.anon[sig] = t
+	return t
+}
+
+// layoutRecord computes field offsets and the overall size/alignment for a
+// record under x86_64 System V layout rules.
+func layoutRecord(kind Kind, members []Member) ([]Field, int64, int64) {
+	fields := make([]Field, 0, len(members))
+	var size, align int64 = 0, 1
+	seenNamed := false
+	for i, m := range members {
+		if m.Type == nil {
+			panic("ctypes: record member with nil type")
+		}
+		if m.IsBase {
+			if seenNamed {
+				panic("ctypes: base class after named members")
+			}
+			if kind == KindUnion {
+				panic("ctypes: union cannot have base classes")
+			}
+		} else {
+			seenNamed = true
+		}
+		isFAM := m.Type.IsIncompleteArray()
+		if isFAM && (i != len(members)-1 || kind == KindUnion) {
+			panic("ctypes: flexible array member must be the last struct member")
+		}
+		if !isFAM && !m.Type.IsComplete() {
+			panic(fmt.Sprintf("ctypes: member %q has incomplete type %s", m.Name, m.Type))
+		}
+
+		var fsize, falign int64
+		if isFAM {
+			fsize, falign = 0, m.Type.Elem.Align()
+		} else {
+			fsize, falign = m.Type.Size(), m.Type.Align()
+		}
+		if falign > align {
+			align = falign
+		}
+
+		var off int64
+		if kind == KindUnion {
+			off = 0
+			if fsize > size {
+				size = fsize
+			}
+		} else {
+			off = roundUp(size, falign)
+			size = off + fsize
+		}
+		fields = append(fields, Field{
+			Name: m.Name, Type: m.Type, Offset: off,
+			IsBase: m.IsBase, IsFAM: isFAM,
+		})
+	}
+	size = roundUp(size, align)
+	if size == 0 {
+		size = 1 // empty records occupy one byte, as in C++
+	}
+	return fields, size, align
+}
+
+func roundUp(n, align int64) int64 {
+	return (n + align - 1) / align * align
+}

@@ -1,0 +1,341 @@
+package ctypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFundamentalSizes(t *testing.T) {
+	cases := []struct {
+		typ   *Type
+		size  int64
+		align int64
+	}{
+		{Bool, 1, 1}, {Char, 1, 1}, {SChar, 1, 1}, {UChar, 1, 1},
+		{Short, 2, 2}, {UShort, 2, 2}, {Int, 4, 4}, {UInt, 4, 4},
+		{Long, 8, 8}, {ULong, 8, 8}, {LongLong, 8, 8}, {ULongLong, 8, 8},
+		{Float, 4, 4}, {Double, 8, 8}, {LongDouble, 16, 16},
+	}
+	for _, c := range cases {
+		if got := c.typ.Size(); got != c.size {
+			t.Errorf("sizeof(%s) = %d, want %d", c.typ, got, c.size)
+		}
+		if got := c.typ.Align(); got != c.align {
+			t.Errorf("alignof(%s) = %d, want %d", c.typ, got, c.align)
+		}
+	}
+}
+
+func TestPointerInterning(t *testing.T) {
+	tb := NewTable()
+	p1 := tb.PointerTo(Int)
+	p2 := tb.PointerTo(Int)
+	if p1 != p2 {
+		t.Fatal("pointer types to the same pointee must be identical")
+	}
+	if p1.Size() != PointerSize {
+		t.Fatalf("sizeof(int *) = %d, want %d", p1.Size(), PointerSize)
+	}
+	if tb.PointerTo(Float) == p1 {
+		t.Fatal("pointer types to distinct pointees must differ")
+	}
+}
+
+func TestArrayInterning(t *testing.T) {
+	tb := NewTable()
+	a1 := tb.ArrayOf(Int, 100)
+	a2 := tb.ArrayOf(Int, 100)
+	if a1 != a2 {
+		t.Fatal("equal array types must be identical")
+	}
+	if a1.Size() != 400 {
+		t.Fatalf("sizeof(int[100]) = %d, want 400", a1.Size())
+	}
+	if tb.ArrayOf(Int, 99) == a1 {
+		t.Fatal("arrays with different lengths must differ")
+	}
+	inc := tb.IncompleteArrayOf(Int)
+	if inc.IsComplete() {
+		t.Fatal("int[] must be incomplete")
+	}
+	if inc != tb.IncompleteArrayOf(Int) {
+		t.Fatal("incomplete arrays must be interned")
+	}
+}
+
+// TestPaperExampleLayout checks the struct layout from the paper's
+// Example 1/2: struct S {int a[3]; char *s;}; struct T {float f; struct S t;}.
+func TestPaperExampleLayout(t *testing.T) {
+	tb := NewTable()
+	s := tb.MustParse("struct S { int a[3]; char *s; }")
+	tt := tb.MustParse("struct T { float f; struct S t; }")
+
+	if got := s.Size(); got != 24 {
+		t.Fatalf("sizeof(struct S) = %d, want 24", got)
+	}
+	if off, _ := s.Offsetof("a"); off != 0 {
+		t.Errorf("offsetof(S, a) = %d, want 0", off)
+	}
+	if off, _ := s.Offsetof("s"); off != 16 {
+		t.Errorf("offsetof(S, s) = %d, want 16 (4 bytes padding after a)", off)
+	}
+
+	// T: float f at 0, 4 bytes padding, S t at 8 (S aligned to 8 via char*).
+	// The paper presents offsets assuming no padding (t at +4); our layout
+	// engine follows the real x86_64 ABI, so t lands at 8.
+	if got := tt.Size(); got != 32 {
+		t.Fatalf("sizeof(struct T) = %d, want 32", got)
+	}
+	if off, _ := tt.Offsetof("t"); off != 8 {
+		t.Errorf("offsetof(T, t) = %d, want 8", off)
+	}
+}
+
+func TestTagEquivalence(t *testing.T) {
+	tb := NewTable()
+	s1 := tb.MustParse("struct Node { int v; struct Node *next; }")
+	s2 := tb.MustParse("struct Node")
+	if s1 != s2 {
+		t.Fatal("tagged records must be equivalent by tag")
+	}
+	f, ok := s1.FieldByName("next")
+	if !ok || f.Type != tb.PointerTo(s1) {
+		t.Fatal("recursive pointer member must resolve to the same record")
+	}
+}
+
+func TestAnonymousLayoutEquivalence(t *testing.T) {
+	tb := NewTable()
+	a1 := tb.MustParse("struct { int x; float y; }")
+	a2 := tb.MustParse("struct { int x; float y; }")
+	a3 := tb.MustParse("struct { int x; double y; }")
+	if a1 != a2 {
+		t.Fatal("anonymous records with identical layout must be equivalent")
+	}
+	if a1 == a3 {
+		t.Fatal("anonymous records with different layout must differ")
+	}
+}
+
+func TestRedeclare(t *testing.T) {
+	tb := NewTable()
+	s1 := tb.MustParse("struct Conf { int x; }")
+	s2 := tb.Redeclare(KindStruct, "Conf")
+	tb.Complete(s2, []Member{{Name: "x", Type: Float}})
+	if s1 == s2 {
+		t.Fatal("Redeclare must create a distinct identity")
+	}
+	if tb.Lookup(KindStruct, "Conf") != s1 {
+		t.Fatal("Redeclare must not replace the registered tag")
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	tb := NewTable()
+	u := tb.MustParse("union U { float a[10]; float b[20]; }")
+	if u.Size() != 80 {
+		t.Fatalf("sizeof(union U) = %d, want 80", u.Size())
+	}
+	for _, f := range u.Fields {
+		if f.Offset != 0 {
+			t.Errorf("union member %s at offset %d, want 0", f.Name, f.Offset)
+		}
+	}
+}
+
+func TestClassInheritance(t *testing.T) {
+	tb := NewTable()
+	base := tb.MustParse("class Grammar { int kind; }")
+	d1 := tb.MustParse("class SchemaGrammar : Grammar { int schema; }")
+	d2 := tb.MustParse("class DTDGrammar : Grammar { int dtd; }")
+
+	if !d1.HasBase(base) || !d2.HasBase(base) {
+		t.Fatal("derived classes must report their base")
+	}
+	if d1.HasBase(d2) || base.HasBase(d1) {
+		t.Fatal("HasBase must not be symmetric or reflexive")
+	}
+	if d1.Fields[0].Offset != 0 || !d1.Fields[0].IsBase {
+		t.Fatal("base sub-object must be the leading field at offset 0")
+	}
+
+	// Transitive base.
+	d3 := tb.MustParse("class Extra : SchemaGrammar { int extra; }")
+	if !d3.HasBase(base) {
+		t.Fatal("HasBase must be transitive")
+	}
+}
+
+func TestFlexibleArrayMember(t *testing.T) {
+	tb := NewTable()
+	f := tb.MustParse("struct Blob { long n; char data[]; }")
+	if !f.HasFAM() {
+		t.Fatal("struct Blob must have a flexible array member")
+	}
+	if f.Size() != 8 {
+		t.Fatalf("sizeof(struct Blob) = %d, want 8 (FAM contributes nothing)", f.Size())
+	}
+	fam := f.FAM()
+	if fam.Offset != 8 {
+		t.Fatalf("FAM offset = %d, want 8", fam.Offset)
+	}
+	if !fam.Type.IsIncompleteArray() {
+		t.Fatal("FAM must be an incomplete array")
+	}
+}
+
+func TestParseDeclarators(t *testing.T) {
+	tb := NewTable()
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"int", "int"},
+		{"unsigned long long", "unsigned long long"},
+		{"char *", "char *"},
+		{"int[100]", "int[100]"},
+		{"int[]", "int[]"},
+		{"int *[4]", "int *[4]"},
+		{"int (*)[4]", "int[4] *"},
+		{"void (*)(int, char *)", "void (*)(int, char *)"},
+		{"struct S2 { int a; } *", "struct S2 *"},
+	}
+	for _, c := range cases {
+		typ, err := tb.Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := typ.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseDeclaratorSemantics(t *testing.T) {
+	tb := NewTable()
+	// int *[4]: array of 4 pointers -> size 32.
+	arrOfPtr := tb.MustParse("int *[4]")
+	if arrOfPtr.Kind != KindArray || arrOfPtr.Elem.Kind != KindPointer || arrOfPtr.Size() != 32 {
+		t.Fatalf("int *[4] parsed wrong: %s (size %d)", arrOfPtr, arrOfPtr.size)
+	}
+	// int (*)[4]: pointer to array -> size 8.
+	ptrToArr := tb.MustParse("int (*)[4]")
+	if ptrToArr.Kind != KindPointer || ptrToArr.Elem.Kind != KindArray || ptrToArr.Size() != 8 {
+		t.Fatalf("int (*)[4] parsed wrong: %s", ptrToArr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tb := NewTable()
+	bad := []string{
+		"",
+		"intt",
+		"int [",
+		"int [x]",
+		"struct",
+		"struct { int x }", // missing ';'
+		"int ***)",
+		"union U2 : Base { int x; }",
+	}
+	tb.MustParse("class Base { int b; }")
+	for _, src := range bad {
+		if typ, err := tb.Parse(src); err == nil {
+			t.Errorf("Parse(%q) = %s, want error", src, typ)
+		}
+	}
+	// Redefinition of a completed tag is an error.
+	tb.MustParse("struct Once { int x; }")
+	if _, err := tb.Parse("struct Once { float y; }"); err == nil {
+		t.Error("redefinition of a completed tag must fail")
+	}
+}
+
+func TestFreeType(t *testing.T) {
+	if Free.Kind != KindFree {
+		t.Fatal("Free must have KindFree")
+	}
+	tb := NewTable()
+	for _, src := range []string{"int", "char *", "struct Q { int a; }"} {
+		if tb.MustParse(src) == Free {
+			t.Fatalf("FREE must be distinct from %s", src)
+		}
+	}
+}
+
+// TestStructPaddingProperty: for any small struct of scalar members, the
+// size is a multiple of the max alignment and offsets are aligned and
+// non-overlapping.
+func TestStructPaddingProperty(t *testing.T) {
+	scalars := []*Type{Char, Short, Int, Long, Float, Double}
+	tb := NewTable()
+	check := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		if len(picks) > 8 {
+			picks = picks[:8]
+		}
+		members := make([]Member, len(picks))
+		for i, p := range picks {
+			members[i] = Member{Name: string(rune('a' + i)), Type: scalars[int(p)%len(scalars)]}
+		}
+		rec := tb.Anon(KindStruct, members)
+		maxAlign := int64(1)
+		var prevEnd int64
+		for _, f := range rec.Fields {
+			if f.Offset%f.Type.Align() != 0 {
+				return false
+			}
+			if f.Offset < prevEnd {
+				return false
+			}
+			prevEnd = f.Offset + f.Type.Size()
+			if f.Type.Align() > maxAlign {
+				maxAlign = f.Type.Align()
+			}
+		}
+		return rec.Size()%maxAlign == 0 && rec.Size() >= prevEnd && rec.Align() == maxAlign
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArraySizeProperty: sizeof(T[n]) == n * sizeof(T) for scalar T.
+func TestArraySizeProperty(t *testing.T) {
+	tb := NewTable()
+	scalars := []*Type{Char, Short, Int, Long, Float, Double, LongDouble}
+	check := func(pick uint8, n uint16) bool {
+		elem := scalars[int(pick)%len(scalars)]
+		arr := tb.ArrayOf(elem, int64(n))
+		return arr.Size() == int64(n)*elem.Size() && arr.Align() == elem.Align()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyRecordSize(t *testing.T) {
+	tb := NewTable()
+	e := tb.MustParse("struct Empty { }")
+	if e.Size() != 1 {
+		t.Fatalf("sizeof(struct Empty) = %d, want 1", e.Size())
+	}
+}
+
+func TestFuncTypeInterning(t *testing.T) {
+	tb := NewTable()
+	f1 := tb.FuncType(Void, Int, tb.PointerTo(Char))
+	f2 := tb.FuncType(Void, Int, tb.PointerTo(Char))
+	f3 := tb.FuncType(Int, Int)
+	if f1 != f2 {
+		t.Fatal("identical function types must be interned")
+	}
+	if f1 == f3 {
+		t.Fatal("different function types must differ")
+	}
+	if f1.IsComplete() {
+		t.Fatal("function types are not complete object types")
+	}
+}

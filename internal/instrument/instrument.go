@@ -1,0 +1,456 @@
+// Package instrument implements EffectiveSan's dynamic type check
+// instrumentation schema (Duck & Yap, PLDI 2018, §4, Fig. 3) as a
+// MIR-to-MIR transformation, plus the reduced-instrumentation variants
+// evaluated in §6.2 and the prototype's check-elision optimisations.
+//
+// The schema:
+//
+//   - input pointers — function parameters (a), call returns (b), pointer
+//     loads (c) and pointer casts (d) — are type checked against their
+//     static pointee type, yielding (sub-)object bounds;
+//   - derived pointers — field selection (e) and pointer arithmetic (f) —
+//     propagate bounds, with field selection narrowing them;
+//   - pointer uses and escapes (g) — loads, stores, pointer stores and
+//     pointer call arguments — are bounds checked.
+//
+// Instrumentation is limited to used pointers (a pointer is used if it is
+// dereferenced or escapes, directly or through a derived pointer); "it is
+// the responsibility of the eventual user of the pointer to check the
+// type". Allocations get their (trivially correct) allocation bounds via
+// bounds_get rather than a type check.
+package instrument
+
+import (
+	"repro/internal/ctypes"
+	"repro/internal/mir"
+)
+
+// Variant selects the instrumentation level (§6.2).
+type Variant int
+
+const (
+	// None performs no instrumentation (the uninstrumented baseline).
+	None Variant = iota
+	// Full is complete EffectiveSan instrumentation: type checks on
+	// input pointers, bounds narrowing, bounds checks on all uses.
+	Full
+	// BoundsOnly protects object bounds only: type checks are replaced
+	// by the cheaper bounds_get, and no sub-object narrowing happens —
+	// comparable to allocation-bounds sanitizers (LowFat, ASan).
+	BoundsOnly
+	// TypeOnly checks C/C++-style pointer casts only (rule (d), applied
+	// regardless of use) — comparable to type-confusion sanitizers
+	// (CaVer, TypeSan, HexType).
+	TypeOnly
+)
+
+func (v Variant) String() string {
+	switch v {
+	case None:
+		return "uninstrumented"
+	case Full:
+		return "effectivesan"
+	case BoundsOnly:
+		return "effectivesan-bounds"
+	case TypeOnly:
+		return "effectivesan-type"
+	}
+	return "variant?"
+}
+
+// Options configure the pass.
+type Options struct {
+	Variant Variant
+	// NoOptimize disables the check-elision optimisations (never-failing
+	// upcast checks, subsumed bounds checks, redundant narrowing) — for
+	// the ablation benchmarks.
+	NoOptimize bool
+	// Naive replaces the input-pointer discipline with a type check
+	// before every single dereference — the strawman the schema's check
+	// minimisation is measured against (ablation only).
+	Naive bool
+}
+
+// Stats reports what the pass did.
+type Stats struct {
+	TypeChecks    int // OpTypeCheck inserted
+	BoundsGets    int // OpBoundsGet inserted
+	Narrows       int // OpBoundsNarrow inserted
+	BoundsChecks  int // OpBoundsCheck inserted
+	EscapeChecks  int // OpEscapeCheck inserted
+	ElidedUpcasts int // casts proven safe statically
+	ElidedSubsume int // bounds checks subsumed by earlier ones
+	ElidedNarrows int // redundant narrowing operations removed
+	ElidedUnused  int // input checks skipped on never-used pointers
+}
+
+// Instrument returns an instrumented deep copy of p; the input program is
+// not modified. The returned program must run with an EffectiveSan
+// runtime (mir.EffEnv) unless Variant is None.
+func Instrument(p *mir.Program, opts Options) (*mir.Program, Stats) {
+	out := p.Clone()
+	var st Stats
+	if opts.Variant == None {
+		return out, st
+	}
+	for _, f := range out.Funcs {
+		instrumentFunc(out, f, opts, &st)
+	}
+	return out, st
+}
+
+// instrumentFunc rewrites one function in place.
+func instrumentFunc(p *mir.Program, f *mir.Func, opts Options, st *Stats) {
+	used := usedPointers(p, f, opts)
+	for bi, b := range f.Blocks {
+		var out []mir.Instr
+		for _, ins := range b.Instrs {
+			emitPre(p, f, &ins, opts, st, &out)
+			out = append(out, ins)
+			emitPost(p, f, &ins, opts, st, used, &out)
+		}
+		b.Instrs = out
+		_ = bi
+	}
+	// Rule (a): type check used pointer parameters at function entry.
+	if opts.Variant == Full || opts.Variant == BoundsOnly {
+		var entry []mir.Instr
+		for i, prm := range f.Params {
+			if prm.Type == nil || prm.Type.Kind != ctypes.KindPointer {
+				continue
+			}
+			if !used[i] {
+				st.ElidedUnused++
+				continue
+			}
+			entry = append(entry, inputCheck(opts, st, i, prm.Type.Elem))
+		}
+		if len(entry) > 0 {
+			f.Blocks[0].Instrs = append(entry, f.Blocks[0].Instrs...)
+		}
+	}
+	if !opts.NoOptimize {
+		for _, b := range f.Blocks {
+			b.Instrs = elideSubsumed(b.Instrs, st)
+		}
+	}
+}
+
+// inputCheck builds the check instruction for an input pointer: a type
+// check in Full, a bounds_get in BoundsOnly.
+func inputCheck(opts Options, st *Stats, reg int, pointee *ctypes.Type) mir.Instr {
+	if opts.Variant == BoundsOnly {
+		st.BoundsGets++
+		return mir.Instr{Op: mir.OpBoundsGet, Dst: -1, A: reg, B: -1, C: -1}
+	}
+	st.TypeChecks++
+	return mir.Instr{Op: mir.OpTypeCheck, Dst: -1, A: reg, B: -1, C: -1, Type: pointee}
+}
+
+// emitPre inserts the checks that must precede ins: bounds checks on
+// memory accesses and escape checks on escaping pointers (rule (g)).
+func emitPre(p *mir.Program, f *mir.Func, ins *mir.Instr, opts Options, st *Stats, out *[]mir.Instr) {
+	if opts.Variant != Full && opts.Variant != BoundsOnly {
+		return
+	}
+	boundsCheck := func(addrReg int, sizeReg int, size int64, static *ctypes.Type) {
+		st.BoundsChecks++
+		*out = append(*out, mir.Instr{Op: mir.OpBoundsCheck, Dst: -1,
+			A: addrReg, B: sizeReg, C: -1, Aux: size, Type: static, Site: ins.Site})
+	}
+	escapeCheck := func(reg int) {
+		st.EscapeChecks++
+		*out = append(*out, mir.Instr{Op: mir.OpEscapeCheck, Dst: -1,
+			A: reg, B: -1, C: -1, Site: ins.Site})
+	}
+	switch ins.Op {
+	case mir.OpLoad:
+		if opts.Naive {
+			st.TypeChecks++
+			*out = append(*out, mir.Instr{Op: mir.OpTypeCheck, Dst: -1,
+				A: ins.A, B: -1, C: -1, Type: ins.Type, Site: ins.Site})
+		}
+		boundsCheck(ins.A, -1, ins.Type.Size(), ins.Type)
+	case mir.OpStore:
+		if opts.Naive {
+			st.TypeChecks++
+			*out = append(*out, mir.Instr{Op: mir.OpTypeCheck, Dst: -1,
+				A: ins.A, B: -1, C: -1, Type: ins.Type, Site: ins.Site})
+		}
+		boundsCheck(ins.A, -1, ins.Type.Size(), ins.Type)
+		if ins.Type.Kind == ctypes.KindPointer {
+			escapeCheck(ins.B)
+		}
+	case mir.OpMemcpy:
+		boundsCheck(ins.A, ins.C, 0, ctypes.Char)
+		boundsCheck(ins.B, ins.C, 0, ctypes.Char)
+	case mir.OpMemset:
+		boundsCheck(ins.A, ins.C, 0, ctypes.Char)
+	case mir.OpCall:
+		callee := p.Funcs[ins.Callee]
+		for i, arg := range ins.Args {
+			if callee.Params[i].Type != nil && callee.Params[i].Type.Kind == ctypes.KindPointer {
+				escapeCheck(arg)
+			}
+		}
+	}
+}
+
+// emitPost inserts the checks that follow ins: type checks on input
+// pointers (rules (b)-(d)), allocation bounds on fresh objects, and
+// narrowing on field selection (rule (e)).
+func emitPost(p *mir.Program, f *mir.Func, ins *mir.Instr, opts Options, st *Stats,
+	used map[int]bool, out *[]mir.Instr) {
+
+	if opts.Variant == TypeOnly {
+		// Rule (d) only, applied regardless of use (§6.2).
+		if ins.Op == mir.OpCast && ins.Type.Kind == ctypes.KindPointer &&
+			ins.CastFrom != nil && ins.CastFrom.Kind == ctypes.KindPointer {
+			if !opts.NoOptimize && safeUpcast(ins.CastFrom.Elem, ins.Type.Elem) {
+				st.ElidedUpcasts++
+				return
+			}
+			st.TypeChecks++
+			*out = append(*out, mir.Instr{Op: mir.OpTypeCheck, Dst: -1,
+				A: ins.Dst, B: -1, C: -1, Type: ins.Type.Elem, Site: ins.Site})
+		}
+		return
+	}
+	if opts.Variant != Full && opts.Variant != BoundsOnly {
+		return
+	}
+
+	switch ins.Op {
+	case mir.OpMalloc, mir.OpAlloca, mir.OpRealloc, mir.OpGlobal:
+		// Fresh (or global) object pointers: allocation bounds are exact
+		// and a type check can never fail, so bounds_get suffices in
+		// every variant.
+		if !used[ins.Dst] {
+			st.ElidedUnused++
+			return
+		}
+		st.BoundsGets++
+		*out = append(*out, mir.Instr{Op: mir.OpBoundsGet, Dst: -1,
+			A: ins.Dst, B: -1, C: -1, Site: ins.Site})
+
+	case mir.OpLoad, mir.OpCall, mir.OpCast:
+		pointee := pointerResultElem(p, ins)
+		if pointee == nil {
+			return
+		}
+		if !used[ins.Dst] {
+			st.ElidedUnused++
+			return
+		}
+		if ins.Op == mir.OpCast {
+			if ins.CastFrom == nil || ins.CastFrom.Kind != ctypes.KindPointer {
+				// Integer-to-pointer casts are inputs too (§4).
+			} else if !opts.NoOptimize && safeUpcast(ins.CastFrom.Elem, pointee) {
+				st.ElidedUpcasts++
+				return
+			}
+		}
+		*out = append(*out, inputCheck(opts, st, ins.Dst, pointee))
+		(*out)[len(*out)-1].Site = ins.Site
+
+	case mir.OpField:
+		// Rule (e): narrow to the selected field (Full only — BoundsOnly
+		// protects whole-object bounds).
+		if opts.Variant != Full || !ins.Type.IsComplete() {
+			return
+		}
+		if !used[ins.Dst] {
+			st.ElidedUnused++
+			return
+		}
+		st.Narrows++
+		*out = append(*out, mir.Instr{Op: mir.OpBoundsNarrow, Dst: -1,
+			A: ins.Dst, B: -1, C: -1, Aux: ins.Type.Size(), Site: ins.Site})
+	}
+}
+
+// pointerResultElem returns the static pointee type of the pointer an
+// instruction produces, or nil.
+func pointerResultElem(p *mir.Program, ins *mir.Instr) *ctypes.Type {
+	switch ins.Op {
+	case mir.OpLoad, mir.OpCast:
+		if ins.Type.Kind == ctypes.KindPointer {
+			return ins.Type.Elem
+		}
+	case mir.OpCall:
+		if callee, ok := p.Funcs[ins.Callee]; ok && callee.Ret != nil &&
+			callee.Ret.Kind == ctypes.KindPointer {
+			return callee.Ret.Elem
+		}
+	}
+	return nil
+}
+
+// safeUpcast reports whether a cast from pointee `from` to pointee `to`
+// can never fail a dynamic type check: identical types, casts to the
+// first/base sub-object (C++ upcasts), and casts to char/void views.
+// These checks are removed by the prototype's optimiser (§6).
+func safeUpcast(from, to *ctypes.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if from == to {
+		return true
+	}
+	switch to {
+	case ctypes.Char, ctypes.UChar, ctypes.SChar, ctypes.Void:
+		// Char/void views reset to allocation bounds; but the bounds are
+		// still needed downstream, so only elide when the source type
+		// already has them — conservatively keep the check.
+		return false
+	}
+	return from.IsRecord() && from.HasBase(to)
+}
+
+// elideSubsumed removes bounds checks that are subsumed by an earlier
+// check of the same register with at least the same size, and redundant
+// consecutive narrowing operations, within one basic block (§6's
+// "removing subsumed bounds checks" and "removing redundant bounds
+// narrowing operations").
+func elideSubsumed(instrs []mir.Instr, st *Stats) []mir.Instr {
+	type checked struct {
+		size int64
+	}
+	checkedBy := map[int]checked{} // reg -> biggest static size checked
+	lastNarrow := map[int]int64{}  // reg -> last narrow extent
+	invalidate := func(reg int) {
+		delete(checkedBy, reg)
+		delete(lastNarrow, reg)
+	}
+	var out []mir.Instr
+	for _, ins := range instrs {
+		switch ins.Op {
+		case mir.OpBoundsCheck:
+			if ins.B == -1 {
+				if c, ok := checkedBy[ins.A]; ok && c.size >= ins.Aux {
+					st.ElidedSubsume++
+					continue
+				}
+				checkedBy[ins.A] = checked{size: ins.Aux}
+			}
+		case mir.OpBoundsNarrow:
+			if n, ok := lastNarrow[ins.A]; ok && n == ins.Aux {
+				st.ElidedNarrows++
+				continue
+			}
+			lastNarrow[ins.A] = ins.Aux
+			delete(checkedBy, ins.A) // narrower bounds: recheck
+		case mir.OpTypeCheck, mir.OpBoundsGet:
+			invalidate(ins.A)
+		default:
+			_, defs := instrDefs(&ins)
+			for _, d := range defs {
+				if d >= 0 {
+					invalidate(d)
+				}
+			}
+		}
+		out = append(out, ins)
+	}
+	return out
+}
+
+// instrDefs mirrors Instr.regs but is local to avoid exporting it from
+// mir: it returns the registers an instruction reads and writes.
+func instrDefs(ins *mir.Instr) (uses []int, defs []int) {
+	switch ins.Op {
+	case mir.OpConst, mir.OpGlobal, mir.OpAlloca:
+		return nil, []int{ins.Dst}
+	case mir.OpMov, mir.OpNot, mir.OpCast, mir.OpLoad, mir.OpField, mir.OpMalloc:
+		return []int{ins.A}, []int{ins.Dst}
+	case mir.OpBin, mir.OpCmp, mir.OpIndex, mir.OpRealloc:
+		return []int{ins.A, ins.B}, []int{ins.Dst}
+	case mir.OpCall:
+		if ins.Dst != -1 {
+			return ins.Args, []int{ins.Dst}
+		}
+		return ins.Args, nil
+	}
+	return nil, nil
+}
+
+// usedPointers computes the set of registers that are used as pointers —
+// dereferenced, escaping, or flowing into a derived pointer that is —
+// via a fixpoint over the (non-SSA) register graph. Registers outside the
+// set need no input type check ("EffectiveSan will limit instrumentation
+// to used pointers only").
+func usedPointers(p *mir.Program, f *mir.Func, opts Options) map[int]bool {
+	used := make(map[int]bool)
+	mark := func(r int) bool {
+		if r < 0 || used[r] {
+			return false
+		}
+		used[r] = true
+		return true
+	}
+	// Seed: direct dereferences and escapes.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			switch ins.Op {
+			case mir.OpLoad:
+				mark(ins.A)
+			case mir.OpStore:
+				mark(ins.A)
+				if ins.Type.Kind == ctypes.KindPointer {
+					mark(ins.B)
+				}
+			case mir.OpMemcpy:
+				mark(ins.A)
+				mark(ins.B)
+			case mir.OpMemset:
+				mark(ins.A)
+			case mir.OpFree, mir.OpRealloc:
+				mark(ins.A)
+			case mir.OpCall:
+				callee := p.Funcs[ins.Callee]
+				if callee == nil {
+					continue
+				}
+				for i, arg := range ins.Args {
+					if callee.Params[i].Type != nil && callee.Params[i].Type.Kind == ctypes.KindPointer {
+						mark(arg)
+					}
+				}
+			}
+		}
+	}
+	// Propagate backwards through derivations until fixpoint. Casts are
+	// normally NOT propagated through: a cast is an input that performs
+	// its own check (rule (d)) — this is what lets "a function that
+	// merely casts and returns a pointer" escape instrumentation
+	// entirely. The exception is casts the optimiser will ELIDE as
+	// never-failing (upcasts, identity casts): an elided cast performs no
+	// check, so its result inherits the source's bounds — which means the
+	// source must itself be treated as used, or those bounds would never
+	// be established.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				ins := &b.Instrs[i]
+				switch ins.Op {
+				case mir.OpMov, mir.OpField, mir.OpIndex:
+					if used[ins.Dst] && mark(ins.A) {
+						changed = true
+					}
+				case mir.OpCast:
+					if !opts.NoOptimize &&
+						ins.Type.Kind == ctypes.KindPointer &&
+						ins.CastFrom != nil && ins.CastFrom.Kind == ctypes.KindPointer &&
+						safeUpcast(ins.CastFrom.Elem, ins.Type.Elem) {
+						if used[ins.Dst] && mark(ins.A) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return used
+}

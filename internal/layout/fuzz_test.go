@@ -1,0 +1,137 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+// randType builds a random type tree (records, unions, arrays, scalars)
+// for the agreement fuzz below.
+func randType(r *rand.Rand, tb *ctypes.Table, depth, id int) *ctypes.Type {
+	scalars := []*ctypes.Type{
+		ctypes.Char, ctypes.Short, ctypes.Int, ctypes.Long,
+		ctypes.Float, ctypes.Double,
+	}
+	if depth <= 0 || r.Intn(3) == 0 {
+		return scalars[r.Intn(len(scalars))]
+	}
+	switch r.Intn(3) {
+	case 0:
+		return tb.ArrayOf(randType(r, tb, depth-1, id*10+1), int64(1+r.Intn(5)))
+	case 1:
+		n := 1 + r.Intn(4)
+		members := make([]ctypes.Member, n)
+		for i := range members {
+			members[i] = ctypes.Member{Name: fmt.Sprintf("u%d", i),
+				Type: randType(r, tb, depth-1, id*10+2+i)}
+		}
+		return tb.Anon(ctypes.KindUnion, members)
+	default:
+		n := 1 + r.Intn(4)
+		members := make([]ctypes.Member, n)
+		for i := range members {
+			members[i] = ctypes.Member{Name: fmt.Sprintf("s%d", i),
+				Type: randType(r, tb, depth-1, id*10+6+i)}
+		}
+		return tb.Anon(ctypes.KindStruct, members)
+	}
+}
+
+// TestFuzzTableAgreesWithOf cross-checks the layout hash table against
+// the reference layout function on random type trees: at every offset,
+// for every scalar static type, an exact table hit must exist iff Of
+// reports a matching sub-object (directly or via array containment).
+func TestFuzzTableAgreesWithOf(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tb := ctypes.NewTable()
+	statics := []*ctypes.Type{
+		ctypes.Char, ctypes.Short, ctypes.Int, ctypes.Long,
+		ctypes.Float, ctypes.Double,
+	}
+	for trial := 0; trial < 60; trial++ {
+		typ := randType(r, tb, 3, trial)
+		if !typ.IsComplete() || typ.Size() == 0 || typ.Size() > 1<<12 {
+			continue
+		}
+		tl := Build(typ)
+		for k := int64(0); k < typ.Size(); k++ {
+			subs := Of(typ, k)
+			for _, s := range statics {
+				want := false
+				for _, sub := range subs {
+					u := sub.Type
+					if u == s || (u.Kind == ctypes.KindArray && u.Elem == s) {
+						want = true
+						break
+					}
+				}
+				_, got := tl.Lookup(s, k)
+				if got != want {
+					t.Fatalf("trial %d %s: (S=%s, k=%d) table=%v, Of=%v",
+						trial, typ, s, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzBoundsContainQuery: every exact table entry's bounds must
+// contain its query position (escape-wise) and stay within one element
+// (unbounded and FAM entries aside).
+func TestFuzzBoundsContainQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tb := ctypes.NewTable()
+	statics := []*ctypes.Type{ctypes.Char, ctypes.Int, ctypes.Long, ctypes.Double}
+	for trial := 0; trial < 60; trial++ {
+		typ := randType(r, tb, 3, 1000+trial)
+		if !typ.IsComplete() || typ.Size() == 0 || typ.Size() > 1<<12 {
+			continue
+		}
+		tl := Build(typ)
+		for k := int64(0); k <= typ.Size(); k++ {
+			for _, s := range statics {
+				e, ok := tl.Lookup(s, k)
+				if !ok || e.FAM || e.Lo == UnboundedLo || e.Hi == UnboundedHi {
+					continue
+				}
+				// Relative bounds must bracket the query position.
+				if e.Lo > 0 || e.Hi < 0 {
+					t.Fatalf("trial %d %s (S=%s,k=%d): bounds %d..%d exclude the query",
+						trial, typ, s, k, e.Lo, e.Hi)
+				}
+				// And must stay within one element span.
+				if k+e.Lo < 0 || k+e.Hi > typ.Size() {
+					t.Fatalf("trial %d %s (S=%s,k=%d): bounds %d..%d escape the element",
+						trial, typ, s, k, e.Lo, e.Hi)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzNormalizeIdempotent: normalisation is idempotent and lands in
+// the table's domain.
+func TestFuzzNormalizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	tb := ctypes.NewTable()
+	for trial := 0; trial < 40; trial++ {
+		typ := randType(r, tb, 2, 2000+trial)
+		if !typ.IsComplete() || typ.Size() == 0 {
+			continue
+		}
+		tl := Build(typ)
+		for i := 0; i < 100; i++ {
+			k := r.Int63n(1 << 20)
+			n1 := tl.Normalize(k)
+			if n1 < 0 || n1 >= tl.ElemSize && tl.ElemSize > 0 && tl.FAMOffset < 0 {
+				t.Fatalf("%s: Normalize(%d) = %d out of domain [0,%d)", typ, k, n1, tl.ElemSize)
+			}
+			if n2 := tl.Normalize(n1); n2 != n1 {
+				t.Fatalf("%s: Normalize not idempotent: %d -> %d -> %d", typ, k, n1, n2)
+			}
+		}
+	}
+}

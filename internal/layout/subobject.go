@@ -1,0 +1,153 @@
+// Package layout implements EffectiveSan's memory layout function L
+// (Duck & Yap, PLDI 2018, Fig. 2) and the layout hash table used by the
+// runtime type check (§5).
+//
+// Given an allocation whose dynamic type has element type T and a byte
+// offset k into one element, L(T,k) enumerates every valid sub-object
+// ⟨U,δ⟩ reachable at that offset: U is the sub-object's type and δ the
+// distance (in bytes) from the queried position back to the sub-object's
+// base. The set is flattened — nested members appear at every depth — and
+// includes the C-mandated one-past-the-end positions (rule (b)) as well as
+// interior array pointers standing for their containing array (rule (d)).
+//
+// The layout hash table turns the O(|L|) scan of Fig. 6 into an O(1)
+// lookup: it precomputes, for every (static type S, offset k) pair, the
+// best matching sub-object bounds relative to the queried position,
+// applying the paper's tie-breaking rules (wider bounds first, end
+// pointers last) at construction time.
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ctypes"
+)
+
+// SubObject is one element of L(T,k): a sub-object type and the distance
+// δ from the queried position back to the sub-object's base. The
+// sub-object spans [q-δ, q-δ+sizeof(Type)) for a query pointer q (the
+// paper's type_bounds helper).
+type SubObject struct {
+	Type  *ctypes.Type
+	Delta int64
+}
+
+// Of computes L(T,k): the set of all sub-objects reachable at byte offset
+// k within an object of (element) type T, per the rules of Fig. 2. The
+// result is deduplicated and deterministically ordered (by delta, then by
+// type name). Offsets outside [0, sizeof(T)] yield an empty set; the
+// boundary k == sizeof(T) yields only one-past-the-end entries.
+//
+// For the special FREE type, Of returns {⟨FREE,0⟩} for every in-bounds
+// offset (rule (h)): every position in deallocated memory "points to"
+// FREE, which turns use-after-free into a type mismatch.
+func Of(t *ctypes.Type, k int64) []SubObject {
+	seen := make(map[SubObject]bool)
+	var out []SubObject
+	add := func(s SubObject) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	collect(t, k, add)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Delta != out[j].Delta {
+			return out[i].Delta < out[j].Delta
+		}
+		return out[i].Type.String() < out[j].Type.String()
+	})
+	return out
+}
+
+// collect implements the Fig. 2 rules recursively. k is the position
+// within t; entries are emitted with δ equal to the position within the
+// sub-object, which is also the distance from the (global) query pointer
+// because recursion only ever descends to the sub-object containing it.
+func collect(t *ctypes.Type, k int64, add func(SubObject)) {
+	if t == ctypes.Free {
+		// Rule (h): all of deallocated memory has type FREE at delta 0.
+		if k >= 0 {
+			add(SubObject{ctypes.Free, 0})
+		}
+		return
+	}
+	size := sizeForLayout(t)
+	if k < 0 || k > size {
+		return
+	}
+	if k == 0 {
+		add(SubObject{t, 0}) // rule (a)
+	}
+	if k == size {
+		add(SubObject{t, size}) // rule (b): one-past-the-end
+	}
+	switch t.Kind {
+	case ctypes.KindArray:
+		if t.Len == ctypes.IncompleteLen {
+			return
+		}
+		es := t.Elem.Size()
+		if es == 0 {
+			return
+		}
+		r := k % es
+		if r == 0 && k > 0 && k < size {
+			// Rule (d): an interior pointer to an array element is also a
+			// pointer into the containing array itself.
+			add(SubObject{t, k})
+		}
+		if k < size {
+			collect(t.Elem, r, add) // rule (c)
+		}
+		if r == 0 && k > 0 {
+			// The same position is one-past-the-end of the previous
+			// element (rule (b) applied through rule (c)).
+			collect(t.Elem, es, add)
+		}
+	case ctypes.KindStruct, ctypes.KindClass, ctypes.KindUnion:
+		// Rules (e)-(g); union member offsets are all zero by layout.
+		for i := range t.Fields {
+			f := &t.Fields[i]
+			fk := k - f.Offset
+			if f.IsFAM {
+				// A flexible array member is laid out as a one-element
+				// array (§5); larger indices are handled by the runtime's
+				// FAM offset normalisation before L is consulted. Apply
+				// the array rules for that single element inline.
+				es := f.Type.Elem.Size()
+				if fk < 0 || fk > es {
+					continue
+				}
+				collect(f.Type.Elem, fk, add)
+				continue
+			}
+			fsize := sizeForLayout(f.Type)
+			if fk < 0 || fk > fsize {
+				continue
+			}
+			collect(f.Type, fk, add)
+		}
+	}
+}
+
+// sizeForLayout returns sizeof(t), treating records with a flexible array
+// member as if the FAM had one element (the paper's "struct T {...; U
+// member[1];}" equivalence).
+func sizeForLayout(t *ctypes.Type) int64 {
+	if t.IsRecord() && t.HasFAM() {
+		fam := t.FAM()
+		end := fam.Offset + fam.Type.Elem.Size()
+		a := t.Align()
+		return (end + a - 1) / a * a
+	}
+	if !t.IsComplete() {
+		return 0
+	}
+	return t.Size()
+}
+
+func (s SubObject) String() string {
+	return fmt.Sprintf("⟨%s, %d⟩", s.Type, s.Delta)
+}

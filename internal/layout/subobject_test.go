@@ -1,0 +1,260 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+// paperTypes builds the types of the paper's Example 1:
+//
+//	struct S {int a[3]; char *s;};   // a@0, s@16 (4 bytes padding), size 24
+//	struct T {float f; struct S t;}; // f@0, t@8 (4 bytes padding), size 32
+//
+// The paper presents its examples with packed offsets (t at +4); the real
+// x86_64 ABI inserts padding, so the golden values below use offsets
+// f@0, t@8, t.a@8, t.s@24, sizeof(T)=32.
+func paperTypes(t *testing.T) (*ctypes.Table, *ctypes.Type, *ctypes.Type) {
+	t.Helper()
+	tb := ctypes.NewTable()
+	s := tb.MustParse("struct S { int a[3]; char *s; }")
+	tt := tb.MustParse("struct T { float f; struct S t; }")
+	return tb, s, tt
+}
+
+func has(subs []SubObject, typ *ctypes.Type, delta int64) bool {
+	for _, s := range subs {
+		if s.Type == typ && s.Delta == delta {
+			return true
+		}
+	}
+	return false
+}
+
+func TestOfScalar(t *testing.T) {
+	// The paper's int example: L(int,0)={<int,0>}, L(int,4)={<int,4>},
+	// empty otherwise.
+	if subs := Of(ctypes.Int, 0); len(subs) != 1 || !has(subs, ctypes.Int, 0) {
+		t.Fatalf("L(int,0) = %v", subs)
+	}
+	if subs := Of(ctypes.Int, 4); len(subs) != 1 || !has(subs, ctypes.Int, 4) {
+		t.Fatalf("L(int,4) = %v", subs)
+	}
+	for _, k := range []int64{1, 2, 3, 5, -1} {
+		if subs := Of(ctypes.Int, k); len(subs) != 0 {
+			t.Fatalf("L(int,%d) = %v, want empty", k, subs)
+		}
+	}
+}
+
+// TestOfPaperExample2 is the paper's Example 2 adjusted for ABI padding:
+// with T = {float f@0; S t@8}, S = {int a[3]@0; char *s@16}:
+//
+//	L(T, 8)  = {<S,0>, <int[3],0>, <int,0>, <float,?>}  — float ends at 4,
+//	           not 8, so no float entry here (padding separates them);
+//	L(T, 20) = {<int[3],12>(end), <int,0 via ...>} — see body.
+func TestOfPaperExample2(t *testing.T) {
+	tb, s, tt := paperTypes(t)
+	intArr3 := tb.MustParse("int[3]")
+	charPtr := tb.MustParse("char *")
+
+	// Offset 8: base of t, t.a and t.a[0].
+	subs := Of(tt, 8)
+	for _, want := range []struct {
+		typ   *ctypes.Type
+		delta int64
+	}{{s, 0}, {intArr3, 0}, {ctypes.Int, 0}} {
+		if !has(subs, want.typ, want.delta) {
+			t.Errorf("L(T,8) missing ⟨%s,%d⟩: got %v", want.typ, want.delta, subs)
+		}
+	}
+	// Offset 4: one-past-the-end of f only (padding bytes follow).
+	subs = Of(tt, 4)
+	if !has(subs, ctypes.Float, 4) || len(subs) != 1 {
+		t.Errorf("L(T,4) = %v, want exactly {⟨float,4⟩}", subs)
+	}
+
+	// Offset 16 = t.a[2]: the paper's L(T,12) with packed layout.
+	// Expect the containing array ⟨int[3],8⟩, the element ⟨int,0⟩, and the
+	// end of the previous element ⟨int,4⟩.
+	subs = Of(tt, 16)
+	for _, want := range []struct {
+		typ   *ctypes.Type
+		delta int64
+	}{{intArr3, 8}, {ctypes.Int, 0}, {ctypes.Int, 4}} {
+		if !has(subs, want.typ, want.delta) {
+			t.Errorf("L(T,16) missing ⟨%s,%d⟩: got %v", want.typ, want.delta, subs)
+		}
+	}
+
+	// Offset 20: end of t.a (the array spans [8,20) in T).
+	subs = Of(tt, 20)
+	if !has(subs, intArr3, 12) || !has(subs, ctypes.Int, 4) {
+		t.Errorf("L(T,20) = %v, want end entries ⟨int[3],12⟩ and ⟨int,4⟩", subs)
+	}
+
+	// Offset 24: t.s (padding separates it from the end of t.a).
+	subs = Of(tt, 24)
+	if !has(subs, charPtr, 0) {
+		t.Errorf("L(T,24) missing ⟨char *,0⟩: got %v", subs)
+	}
+
+	// Offset 32 = sizeof(T): one-past-the-end of the whole object, of t,
+	// and of t.s.
+	subs = Of(tt, 32)
+	if !has(subs, tt, 32) || !has(subs, s, 24) || !has(subs, charPtr, 8) {
+		t.Errorf("L(T,32) = %v, want ends of T, S and char*", subs)
+	}
+}
+
+func TestOfOutOfRange(t *testing.T) {
+	_, _, tt := paperTypes(t)
+	if subs := Of(tt, 33); len(subs) != 0 {
+		t.Fatalf("L(T,33) = %v, want empty", subs)
+	}
+	if subs := Of(tt, -1); len(subs) != 0 {
+		t.Fatalf("L(T,-1) = %v, want empty", subs)
+	}
+}
+
+func TestOfUnionOverlap(t *testing.T) {
+	tb := ctypes.NewTable()
+	u := tb.MustParse("union UU { float a[10]; float b[20]; }")
+	fa := tb.MustParse("float[10]")
+	fb := tb.MustParse("float[20]")
+
+	subs := Of(u, 0)
+	if !has(subs, fa, 0) || !has(subs, fb, 0) || !has(subs, ctypes.Float, 0) || !has(subs, u, 0) {
+		t.Fatalf("L(U,0) = %v, want both arrays, float, and U", subs)
+	}
+	// Offset 48: inside b only (a has 40 bytes); also end of a at 40? No:
+	// 48 > 40, and 48 mod 4 == 0, so b's element and container appear.
+	subs = Of(u, 48)
+	if has(subs, fa, 48) {
+		t.Fatalf("L(U,48) contains a's container beyond its extent: %v", subs)
+	}
+	if !has(subs, fb, 48) || !has(subs, ctypes.Float, 0) {
+		t.Fatalf("L(U,48) = %v, want ⟨float[20],48⟩ and ⟨float,0⟩", subs)
+	}
+}
+
+func TestOfClassInheritance(t *testing.T) {
+	tb := ctypes.NewTable()
+	base := tb.MustParse("class Base { int x; float y; }")
+	derived := tb.MustParse("class Derived : Base { char z; }")
+
+	// The base sub-object sits at offset 0 of the derived object.
+	subs := Of(derived, 0)
+	if !has(subs, derived, 0) || !has(subs, base, 0) || !has(subs, ctypes.Int, 0) {
+		t.Fatalf("L(Derived,0) = %v, want Derived, Base and int", subs)
+	}
+	// Base's y member is reachable through the derived object.
+	subs = Of(derived, 4)
+	if !has(subs, ctypes.Float, 0) {
+		t.Fatalf("L(Derived,4) = %v, want ⟨float,0⟩", subs)
+	}
+}
+
+func TestOfFree(t *testing.T) {
+	for _, k := range []int64{0, 1, 17, 4096} {
+		subs := Of(ctypes.Free, k)
+		if len(subs) != 1 || !has(subs, ctypes.Free, 0) {
+			t.Fatalf("L(FREE,%d) = %v, want {⟨FREE,0⟩}", k, subs)
+		}
+	}
+}
+
+func TestOfFlexibleArrayMember(t *testing.T) {
+	tb := ctypes.NewTable()
+	blob := tb.MustParse("struct Blob { long n; int data[]; }")
+
+	// Offset 8: start of the FAM's first element.
+	subs := Of(blob, 8)
+	if !has(subs, ctypes.Int, 0) {
+		t.Fatalf("L(Blob,8) = %v, want ⟨int,0⟩", subs)
+	}
+	// Offset 12: end of the first FAM element under the [1] view; also the
+	// end of the struct-with-one-element.
+	subs = Of(blob, 12)
+	if !has(subs, ctypes.Int, 4) {
+		t.Fatalf("L(Blob,12) = %v, want ⟨int,4⟩", subs)
+	}
+}
+
+func TestOfNestedDepth(t *testing.T) {
+	tb := ctypes.NewTable()
+	tb.MustParse("struct In { short a; short b; }")
+	mid := tb.MustParse("struct Mid { struct In ins[2]; }")
+	outer := tb.MustParse("struct Out { struct Mid mids[3]; }")
+	in := tb.Lookup(ctypes.KindStruct, "In")
+
+	// Offset 10 = mids[1].ins[0].b: flattening exposes the leaf and the
+	// end of the sibling short; struct interiors do not include the
+	// containing struct itself (only arrays have interior container
+	// entries, Fig. 2 rule (d)).
+	subs := Of(outer, 10)
+	if !has(subs, ctypes.Short, 0) || !has(subs, ctypes.Short, 2) {
+		t.Fatalf("L(Out,10) = %v, want ⟨short,0⟩ and ⟨short,2⟩", subs)
+	}
+	if has(subs, in, 2) {
+		t.Fatalf("L(Out,10) = %v: struct interior must not contain the struct", subs)
+	}
+	// Offset 8 = start of mids[1].ins[0]: the containing structs and the
+	// ins array do appear here.
+	subs = Of(outer, 8)
+	if !has(subs, in, 0) || !has(subs, mid, 0) {
+		t.Fatalf("L(Out,8) = %v, want ⟨struct In,0⟩ and ⟨struct Mid,0⟩", subs)
+	}
+}
+
+// TestOfDeterminism: Of must return identical results across calls (it
+// backs a hash table build that must be reproducible).
+func TestOfDeterminism(t *testing.T) {
+	_, _, tt := paperTypes(t)
+	for k := int64(0); k <= 32; k++ {
+		a, b := Of(tt, k), Of(tt, k)
+		if len(a) != len(b) {
+			t.Fatalf("L(T,%d) nondeterministic", k)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("L(T,%d) order nondeterministic", k)
+			}
+		}
+	}
+}
+
+// TestOfInvariants checks structural invariants of L over a corpus of
+// types and all offsets: every reported sub-object must actually span the
+// queried position, and deltas are within [0, sizeof(U)].
+func TestOfInvariants(t *testing.T) {
+	tb := ctypes.NewTable()
+	corpus := []*ctypes.Type{
+		ctypes.Int,
+		tb.MustParse("int[7]"),
+		tb.MustParse("struct A1 { char c; int i; double d; }"),
+		tb.MustParse("union B1 { char c[13]; long l; }"),
+		tb.MustParse("struct C1 { struct A1 a[2]; union B1 u; }"),
+		tb.MustParse("struct D1 { int x; struct D1 *next; }"),
+	}
+	for _, typ := range corpus {
+		size := typ.Size()
+		for k := int64(-2); k <= size+2; k++ {
+			for _, sub := range Of(typ, k) {
+				if sub.Delta < 0 {
+					t.Fatalf("L(%s,%d): negative delta %v", typ, k, sub)
+				}
+				if sub.Type == ctypes.Free {
+					continue
+				}
+				usize := sub.Type.Size()
+				if sub.Delta > usize {
+					t.Fatalf("L(%s,%d): delta beyond sub-object: %v", typ, k, sub)
+				}
+				if k < 0 || k > size {
+					t.Fatalf("L(%s,%d) nonempty out of range: %v", typ, k, sub)
+				}
+			}
+		}
+	}
+}

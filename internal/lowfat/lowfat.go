@@ -1,0 +1,297 @@
+// Package lowfat implements low-fat pointers (Duck & Yap, CC'16; Duck,
+// Yap & Cavallaro, NDSS'17): a memory allocator whose pointers encode the
+// bounds of their allocation in the pointer value itself.
+//
+// The address space is partitioned into equally sized regions, one per
+// allocation size class; every object in region i is exactly Classes[i]
+// bytes and is aligned to its own size. Consequently, for any pointer p
+// into a low-fat object:
+//
+//	Size(p) = Classes[p/RegionSize - 1]
+//	Base(p) = p - p%Size(p)
+//
+// both O(1) and requiring no metadata loads — the property EffectiveSan
+// repurposes to attach an object metadata header at Base(p) (§5).
+//
+// Pointers outside the low-fat regions are "legacy" pointers (from
+// uninstrumented code or custom memory allocators): Size returns SizeMax
+// and Base returns 0, and the EffectiveSan runtime treats them with wide
+// bounds for compatibility. LegacyAlloc carves objects from such a region
+// to model CMAs and uninstrumented libraries.
+package lowfat
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// RegionSize is the virtual address span of one size-class region (4 GiB,
+// as in the NDSS'17 layout).
+const RegionSize = 1 << 32
+
+// MaxAllocSize is the largest slot size (1 GiB).
+const MaxAllocSize = 1 << 30
+
+// classSizes holds the allocation size classes, ascending. Like the real
+// low-fat allocator's table, classes are fine-grained — every multiple of
+// 16 up to 4 KiB, then four classes per octave — so the per-object waste
+// (and the cost of EffectiveSan's 16-byte metadata header) stays small.
+// All classes are multiples of 16, preserving malloc alignment.
+var classSizes = buildClassSizes()
+
+func buildClassSizes() []uint64 {
+	var sizes []uint64
+	for s := uint64(16); s <= 4096; s += 16 {
+		sizes = append(sizes, s)
+	}
+	for e := uint64(0); ; e++ {
+		done := false
+		for _, m := range []uint64{5120, 6144, 7168, 8192} {
+			s := m << e
+			if s > MaxAllocSize {
+				done = true
+				break
+			}
+			sizes = append(sizes, s)
+		}
+		if done {
+			break
+		}
+	}
+	return sizes
+}
+
+// NumClasses is the number of allocation size classes.
+var NumClasses = len(classSizes)
+
+// SizeMax is the Size of a legacy (non-low-fat) pointer.
+const SizeMax = math.MaxUint64
+
+// LegacyBase is the start of the legacy (non-low-fat) allocation region.
+var LegacyBase = uint64(NumClasses+1) * RegionSize
+
+// classSize returns the slot size of class c.
+func classSize(c int) uint64 { return classSizes[c] }
+
+// classFor returns the smallest size class fitting size bytes, or -1.
+func classFor(size uint64) int {
+	if size <= 4096 {
+		return int((size+15)/16*16/16) - 1
+	}
+	lo, hi := 256, len(classSizes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if classSizes[mid] >= size {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo >= len(classSizes) {
+		return -1
+	}
+	return lo
+}
+
+// Size returns the allocation size encoded in pointer p: the size class
+// of the region p points into, or SizeMax for legacy pointers. It is a
+// pure function of the pointer value (plus the constant class table) —
+// the essence of low-fat pointers.
+func Size(p uint64) uint64 {
+	idx := p / RegionSize
+	if idx >= 1 && idx <= uint64(NumClasses) {
+		return classSizes[idx-1]
+	}
+	return SizeMax
+}
+
+// Base returns the base address of the allocation containing p, or 0 for
+// legacy pointers. Slots are placed at absolute multiples of their size,
+// so rounding down is exact.
+func Base(p uint64) uint64 {
+	idx := p / RegionSize
+	if idx >= 1 && idx <= uint64(NumClasses) {
+		size := classSizes[idx-1]
+		return p - p%size
+	}
+	return 0
+}
+
+// IsLowFat reports whether p points into a low-fat region.
+func IsLowFat(p uint64) bool {
+	idx := p / RegionSize
+	return idx >= 1 && idx <= uint64(NumClasses)
+}
+
+// Options configure an Allocator.
+type Options struct {
+	// Quarantine delays the reuse of freed slots by holding up to this
+	// many bytes per size class in a FIFO before they return to the free
+	// list (AddressSanitizer-style; "a technique also applicable to
+	// EffectiveSan", §2.1). Zero disables quarantine.
+	Quarantine uint64
+}
+
+// Stats reports allocator activity. Live and Peak count slot bytes (the
+// allocator's own fragmentation included), the simulation's analogue of
+// heap RSS.
+type Stats struct {
+	Allocs      uint64
+	Frees       uint64
+	Live        uint64
+	Peak        uint64
+	LegacyLive  uint64
+	BadFrees    uint64
+	Quarantined uint64
+}
+
+// Allocator is a low-fat heap allocator over a simulated memory. It is
+// safe for concurrent use.
+type Allocator struct {
+	mem  *mem.Memory
+	opts Options
+
+	mu         sync.Mutex
+	bump       []uint64 // next never-used slot offset per class
+	freeLists  [][]uint64
+	quarantine [][]uint64
+	quarBytes  uint64
+	legacyBump uint64
+	stats      Stats
+}
+
+// New returns an allocator over m.
+func New(m *mem.Memory, opts Options) *Allocator {
+	return &Allocator{
+		mem:        m,
+		opts:       opts,
+		bump:       make([]uint64, NumClasses),
+		freeLists:  make([][]uint64, NumClasses),
+		quarantine: make([][]uint64, NumClasses),
+	}
+}
+
+// Mem returns the underlying memory.
+func (a *Allocator) Mem() *mem.Memory { return a.mem }
+
+// Stats returns a snapshot of allocator statistics.
+func (a *Allocator) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Alloc returns a pointer to a fresh allocation of at least size bytes,
+// placed in the matching size-class region and aligned to its slot size.
+// The returned memory is zeroed (fresh pages read as zero; recycled slots
+// are cleared here). Alloc fails only for sizes beyond the largest class.
+func (a *Allocator) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		size = 1
+	}
+	c := classFor(size)
+	if c < 0 {
+		return 0, fmt.Errorf("lowfat: allocation of %d bytes exceeds the largest size class", size)
+	}
+	slot := classSize(c)
+
+	a.mu.Lock()
+	var p uint64
+	if n := len(a.freeLists[c]); n > 0 {
+		p = a.freeLists[c][n-1]
+		a.freeLists[c] = a.freeLists[c][:n-1]
+	} else {
+		regionBase := uint64(c+1) * RegionSize
+		// Slots sit at absolute multiples of their size so that Base can
+		// recover them by rounding; the first slot of a region is the
+		// first such multiple at or after the region base.
+		align := (slot - regionBase%slot) % slot
+		if align+a.bump[c]+slot > RegionSize {
+			a.mu.Unlock()
+			return 0, fmt.Errorf("lowfat: size class %d (slot %d) exhausted", c, slot)
+		}
+		p = regionBase + align + a.bump[c]
+		a.bump[c] += slot
+	}
+	a.stats.Allocs++
+	a.stats.Live += slot
+	if a.stats.Live > a.stats.Peak {
+		a.stats.Peak = a.stats.Live
+	}
+	a.mu.Unlock()
+
+	a.mem.Set(p, 0, slot)
+	return p, nil
+}
+
+// Free returns the allocation with base pointer p to its size class. p
+// must be the value previously returned by Alloc (the slot base); other
+// values are rejected and counted in Stats.BadFrees.
+func (a *Allocator) Free(p uint64) error {
+	if !IsLowFat(p) || Base(p) != p {
+		a.mu.Lock()
+		a.stats.BadFrees++
+		a.mu.Unlock()
+		return fmt.Errorf("lowfat: free of non-allocation pointer %#x", p)
+	}
+	c := int(p/RegionSize) - 1
+	slot := classSize(c)
+	regionBase := uint64(c+1) * RegionSize
+	align := (slot - regionBase%slot) % slot
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p >= regionBase+align+a.bump[c] {
+		a.stats.BadFrees++
+		return fmt.Errorf("lowfat: free of never-allocated pointer %#x", p)
+	}
+	a.stats.Frees++
+	a.stats.Live -= slot
+	if a.opts.Quarantine > 0 {
+		a.quarantine[c] = append(a.quarantine[c], p)
+		a.quarBytes += slot
+		a.stats.Quarantined++
+		for a.quarBytes > a.opts.Quarantine {
+			// Release the oldest quarantined slot of the largest backlog.
+			released := false
+			for qc := range a.quarantine {
+				if len(a.quarantine[qc]) == 0 {
+					continue
+				}
+				q := a.quarantine[qc][0]
+				a.quarantine[qc] = a.quarantine[qc][1:]
+				a.freeLists[qc] = append(a.freeLists[qc], q)
+				a.quarBytes -= classSize(qc)
+				released = true
+				break
+			}
+			if !released {
+				break
+			}
+		}
+		return nil
+	}
+	a.freeLists[c] = append(a.freeLists[c], p)
+	return nil
+}
+
+// LegacyAlloc carves size bytes from the legacy region. Pointers it
+// returns are not low-fat: Size reports SizeMax and Base reports 0. It
+// models custom memory allocators and uninstrumented libraries (§6's
+// CMA discussion), whose objects EffectiveSan cannot type.
+func (a *Allocator) LegacyAlloc(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	const align = 16
+	size = (size + align - 1) / align * align
+	a.mu.Lock()
+	p := LegacyBase + a.legacyBump
+	a.legacyBump += size
+	a.stats.LegacyLive += size
+	a.mu.Unlock()
+	return p
+}

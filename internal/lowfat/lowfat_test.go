@@ -1,0 +1,227 @@
+package lowfat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newAlloc(t *testing.T, opts Options) *Allocator {
+	t.Helper()
+	return New(mem.New(), opts)
+}
+
+func TestSizeBaseArithmetic(t *testing.T) {
+	a := newAlloc(t, Options{})
+	p, err := a.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Size(p); got != 32 {
+		t.Fatalf("Size = %d, want 32", got)
+	}
+	if got := Base(p); got != p {
+		t.Fatalf("Base of allocation base = %#x, want %#x", got, p)
+	}
+	// Interior pointers resolve to the same base — the paper's
+	// size(str+10)==32, base(str+10)==str example.
+	for _, off := range []uint64{1, 10, 31} {
+		if got := Size(p + off); got != 32 {
+			t.Fatalf("Size(p+%d) = %d, want 32", off, got)
+		}
+		if got := Base(p + off); got != p {
+			t.Fatalf("Base(p+%d) = %#x, want %#x", off, got, p)
+		}
+	}
+}
+
+func TestSizeClassRounding(t *testing.T) {
+	a := newAlloc(t, Options{})
+	for _, c := range []struct{ req, slot uint64 }{
+		{1, 16}, {16, 16}, {17, 32}, {100, 112}, {4096, 4096},
+		{5000, 5120}, {9000, 10240},
+	} {
+		p, err := a.Alloc(c.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Size(p); got != c.slot {
+			t.Errorf("Alloc(%d): slot %d, want %d", c.req, got, c.slot)
+		}
+		if p%c.slot != 0 {
+			t.Errorf("Alloc(%d): %#x not aligned to slot %d", c.req, p, c.slot)
+		}
+	}
+}
+
+func TestLegacyPointers(t *testing.T) {
+	a := newAlloc(t, Options{})
+	p := a.LegacyAlloc(64)
+	if IsLowFat(p) {
+		t.Fatal("legacy pointer must not be low-fat")
+	}
+	if Size(p) != SizeMax {
+		t.Fatalf("Size(legacy) = %d, want SizeMax", Size(p))
+	}
+	if Base(p) != 0 {
+		t.Fatalf("Base(legacy) = %#x, want 0", Base(p))
+	}
+	// Null and small addresses are legacy too.
+	if IsLowFat(0) || IsLowFat(4096) {
+		t.Fatal("null-page pointers must be legacy")
+	}
+}
+
+func TestAllocZeroes(t *testing.T) {
+	a := newAlloc(t, Options{})
+	p, _ := a.Alloc(64)
+	a.Mem().Store(p, 8, 0xffffffffffffffff)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := a.Alloc(64)
+	if q != p {
+		t.Fatalf("free list must recycle: got %#x, want %#x", q, p)
+	}
+	if got := a.Mem().Load(q, 8); got != 0 {
+		t.Fatalf("recycled slot not zeroed: %#x", got)
+	}
+}
+
+func TestFreeValidation(t *testing.T) {
+	a := newAlloc(t, Options{})
+	p, _ := a.Alloc(64)
+	if err := a.Free(p + 8); err == nil {
+		t.Fatal("interior free must fail")
+	}
+	if err := a.Free(LegacyBase + 100); err == nil {
+		t.Fatal("legacy free must fail")
+	}
+	if err := a.Free(p + Size(p)); err == nil {
+		t.Fatal("free of never-allocated slot must fail")
+	}
+	if got := a.Stats().BadFrees; got != 3 {
+		t.Fatalf("BadFrees = %d, want 3", got)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuarantineDelaysReuse(t *testing.T) {
+	a := newAlloc(t, Options{Quarantine: 1 << 20})
+	p, _ := a.Alloc(64)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := a.Alloc(64)
+	if q == p {
+		t.Fatal("quarantine must delay slot reuse")
+	}
+	if a.Stats().Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", a.Stats().Quarantined)
+	}
+}
+
+func TestQuarantineEviction(t *testing.T) {
+	// A tiny quarantine must still release slots back eventually.
+	a := newAlloc(t, Options{Quarantine: 64})
+	p1, _ := a.Alloc(64)
+	p2, _ := a.Alloc(64)
+	a.Free(p1)
+	a.Free(p2) // pushes quarantine over budget; p1 released
+	seen := map[uint64]bool{}
+	for i := 0; i < 3; i++ {
+		q, _ := a.Alloc(64)
+		seen[q] = true
+	}
+	if !seen[p1] {
+		t.Fatal("evicted slot must be reusable")
+	}
+}
+
+func TestStatsPeak(t *testing.T) {
+	a := newAlloc(t, Options{})
+	p1, _ := a.Alloc(1024)
+	p2, _ := a.Alloc(1024)
+	a.Free(p1)
+	a.Free(p2)
+	s := a.Stats()
+	if s.Live != 0 {
+		t.Fatalf("Live = %d, want 0", s.Live)
+	}
+	if s.Peak != 2048 {
+		t.Fatalf("Peak = %d, want 2048", s.Peak)
+	}
+	if s.Allocs != 2 || s.Frees != 2 {
+		t.Fatalf("Allocs/Frees = %d/%d, want 2/2", s.Allocs, s.Frees)
+	}
+}
+
+func TestOversizeAllocation(t *testing.T) {
+	a := newAlloc(t, Options{})
+	if _, err := a.Alloc(2 << 30); err == nil {
+		t.Fatal("allocation beyond the largest class must fail")
+	}
+}
+
+// Property: for any allocation, every interior pointer's Base/Size
+// round-trips to the allocation itself, and distinct live allocations
+// never share a slot.
+func TestBaseSizeProperty(t *testing.T) {
+	a := newAlloc(t, Options{})
+	live := map[uint64]uint64{} // base -> slot
+	check := func(req uint16, offs uint8) bool {
+		size := uint64(req)%5000 + 1
+		p, err := a.Alloc(size)
+		if err != nil {
+			return false
+		}
+		slot := Size(p)
+		if slot < size || p%slot != 0 {
+			return false
+		}
+		for prev, pslot := range live {
+			if p < prev+pslot && prev < p+slot {
+				return false // overlap
+			}
+		}
+		live[p] = slot
+		off := uint64(offs) % slot
+		return Base(p+off) == p && Size(p+off) == slot
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	a := newAlloc(t, Options{})
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var ptrs []uint64
+			for i := 0; i < 200; i++ {
+				p, err := a.Alloc(uint64(16 + i%512))
+				if err != nil {
+					t.Error(err)
+					break
+				}
+				ptrs = append(ptrs, p)
+			}
+			for _, p := range ptrs {
+				if err := a.Free(p); err != nil {
+					t.Error(err)
+				}
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s := a.Stats(); s.Live != 0 {
+		t.Fatalf("Live = %d after all frees", s.Live)
+	}
+}

@@ -1,0 +1,183 @@
+// Package mem provides the simulated 64-bit byte-addressable memory that
+// underlies the reproduction.
+//
+// The paper's artifact runs natively on x86_64; this package substitutes a
+// sparse, page-backed flat address space with identical pointer
+// arithmetic. Low-fat pointers only require that addresses be plain 64-bit
+// integers partitioned into size-class regions, which holds here by
+// construction. Loads and stores are little-endian, matching the
+// evaluation platform.
+//
+// Memory is safe for concurrent use by multiple goroutines (the Firefox
+// experiment of §6.3 exercises multi-threaded workloads); synchronisation
+// covers the page table, while racing byte accesses to the same address
+// are the simulated program's own concern, exactly as on real hardware.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageBits is the log2 of the page size. 64 KiB pages keep the page table
+// small for the multi-gigabyte low-fat address layout while wasting little
+// on small workloads.
+const PageBits = 16
+
+// PageSize is the size of one page in bytes.
+const PageSize = 1 << PageBits
+
+// Memory is a sparse 64-bit address space. The zero value is not usable;
+// call New.
+type Memory struct {
+	mu    sync.RWMutex
+	pages map[uint64]*page
+
+	touched atomic.Int64 // pages materialised so far
+}
+
+type page struct {
+	data [PageSize]byte
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// TouchedBytes returns the number of bytes of backing store materialised
+// so far — the simulation's analogue of peak resident set size (memory is
+// never unmapped, so this is monotone, like peak RSS in Fig. 9).
+func (m *Memory) TouchedBytes() int64 {
+	return m.touched.Load() * PageSize
+}
+
+func (m *Memory) page(idx uint64, create bool) *page {
+	m.mu.RLock()
+	p := m.pages[idx]
+	m.mu.RUnlock()
+	if p != nil || !create {
+		return p
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p = m.pages[idx]; p == nil {
+		p = new(page)
+		m.pages[idx] = p
+		m.touched.Add(1)
+	}
+	return p
+}
+
+// Load reads a size-byte little-endian value at addr. size must be 1, 2,
+// 4 or 8. Reads of never-written memory return zero, like freshly mapped
+// pages.
+func (m *Memory) Load(addr uint64, size int) uint64 {
+	off := addr & (PageSize - 1)
+	if int(off)+size <= PageSize {
+		p := m.page(addr>>PageBits, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p.data[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p.data[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p.data[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p.data[off:])
+		default:
+			panic(fmt.Sprintf("mem: bad load size %d", size))
+		}
+	}
+	// Page-straddling access: assemble byte by byte.
+	var buf [8]byte
+	m.ReadBytes(addr, buf[:size])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Store writes a size-byte little-endian value at addr. size must be 1,
+// 2, 4 or 8.
+func (m *Memory) Store(addr uint64, size int, val uint64) {
+	off := addr & (PageSize - 1)
+	if int(off)+size <= PageSize {
+		p := m.page(addr>>PageBits, true)
+		switch size {
+		case 1:
+			p.data[off] = byte(val)
+		case 2:
+			binary.LittleEndian.PutUint16(p.data[off:], uint16(val))
+		case 4:
+			binary.LittleEndian.PutUint32(p.data[off:], uint32(val))
+		case 8:
+			binary.LittleEndian.PutUint64(p.data[off:], val)
+		default:
+			panic(fmt.Sprintf("mem: bad store size %d", size))
+		}
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	m.WriteBytes(addr, buf[:size])
+}
+
+// ReadBytes fills buf with the bytes at [addr, addr+len(buf)).
+func (m *Memory) ReadBytes(addr uint64, buf []byte) {
+	for n := 0; n < len(buf); {
+		off := (addr + uint64(n)) & (PageSize - 1)
+		chunk := min(PageSize-int(off), len(buf)-n)
+		p := m.page((addr+uint64(n))>>PageBits, false)
+		if p == nil {
+			for i := 0; i < chunk; i++ {
+				buf[n+i] = 0
+			}
+		} else {
+			copy(buf[n:n+chunk], p.data[off:])
+		}
+		n += chunk
+	}
+}
+
+// WriteBytes stores buf at [addr, addr+len(buf)).
+func (m *Memory) WriteBytes(addr uint64, buf []byte) {
+	for n := 0; n < len(buf); {
+		off := (addr + uint64(n)) & (PageSize - 1)
+		chunk := min(PageSize-int(off), len(buf)-n)
+		p := m.page((addr+uint64(n))>>PageBits, true)
+		copy(p.data[off:], buf[n:n+chunk])
+		n += chunk
+	}
+}
+
+// Copy copies n bytes from src to dst, handling overlap like memmove.
+func (m *Memory) Copy(dst, src, n uint64) {
+	if n == 0 || dst == src {
+		return
+	}
+	buf := make([]byte, n)
+	m.ReadBytes(src, buf)
+	m.WriteBytes(dst, buf)
+}
+
+// Set fills [addr, addr+n) with byte b, like memset.
+func (m *Memory) Set(addr uint64, b byte, n uint64) {
+	if n == 0 {
+		return
+	}
+	chunk := make([]byte, min(int(n), PageSize))
+	for i := range chunk {
+		chunk[i] = b
+	}
+	for done := uint64(0); done < n; {
+		c := uint64(len(chunk))
+		if n-done < c {
+			c = n - done
+		}
+		m.WriteBytes(addr+done, chunk[:c])
+		done += c
+	}
+}

@@ -1,0 +1,155 @@
+package mem
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New()
+	cases := []struct {
+		addr uint64
+		size int
+		val  uint64
+	}{
+		{0x1000, 1, 0xab},
+		{0x1001, 2, 0xbeef},
+		{0x1004, 4, 0xdeadbeef},
+		{0x1008, 8, 0x0123456789abcdef},
+		{1<<40 + 5, 8, 42},
+	}
+	for _, c := range cases {
+		m.Store(c.addr, c.size, c.val)
+		if got := m.Load(c.addr, c.size); got != c.val {
+			t.Errorf("Load(%#x,%d) = %#x, want %#x", c.addr, c.size, got, c.val)
+		}
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	if got := m.Load(0xdead0000, 8); got != 0 {
+		t.Fatalf("unwritten memory = %#x, want 0", got)
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := New()
+	m.Store(0x2000, 4, 0x11223344)
+	if got := m.Load(0x2000, 1); got != 0x44 {
+		t.Fatalf("low byte = %#x, want 0x44 (little endian)", got)
+	}
+	if got := m.Load(0x2003, 1); got != 0x11 {
+		t.Fatalf("high byte = %#x, want 0x11", got)
+	}
+}
+
+func TestPageStraddle(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3) // straddles the first page boundary
+	m.Store(addr, 8, 0x1122334455667788)
+	if got := m.Load(addr, 8); got != 0x1122334455667788 {
+		t.Fatalf("straddling load = %#x", got)
+	}
+	// The bytes really live on two pages.
+	if got := m.Load(uint64(PageSize), 1); got != 0x55 {
+		t.Fatalf("byte after boundary = %#x, want 0x55", got)
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	m := New()
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	addr := uint64(3*PageSize - 10) // straddle
+	m.WriteBytes(addr, data)
+	got := make([]byte, len(data))
+	m.ReadBytes(addr, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("ReadBytes = %q, want %q", got, data)
+	}
+}
+
+func TestCopyOverlap(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x100, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	m.Copy(0x102, 0x100, 8) // overlapping forward copy
+	got := make([]byte, 8)
+	m.ReadBytes(0x102, got)
+	if !bytes.Equal(got, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("overlapping Copy = %v", got)
+	}
+}
+
+func TestSet(t *testing.T) {
+	m := New()
+	m.Set(0x5000, 0x7f, 3*PageSize+17)
+	for _, off := range []uint64{0, 1, PageSize, 3*PageSize + 16} {
+		if got := m.Load(0x5000+off, 1); got != 0x7f {
+			t.Fatalf("Set missed offset %d: %#x", off, got)
+		}
+	}
+	if got := m.Load(0x5000+3*PageSize+17, 1); got != 0 {
+		t.Fatalf("Set overran: %#x", got)
+	}
+}
+
+func TestTouchedBytes(t *testing.T) {
+	m := New()
+	if m.TouchedBytes() != 0 {
+		t.Fatal("fresh memory must report zero touched bytes")
+	}
+	m.Store(0, 1, 1)
+	m.Store(10*PageSize, 1, 1)
+	if got := m.TouchedBytes(); got != 2*PageSize {
+		t.Fatalf("TouchedBytes = %d, want %d", got, 2*PageSize)
+	}
+	// Loads do not materialise pages.
+	m.Load(99*PageSize, 8)
+	if got := m.TouchedBytes(); got != 2*PageSize {
+		t.Fatalf("TouchedBytes after load = %d, want %d", got, 2*PageSize)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g) * 1 << 30
+			for i := uint64(0); i < 1000; i++ {
+				m.Store(base+i*8, 8, i)
+			}
+			for i := uint64(0); i < 1000; i++ {
+				if got := m.Load(base+i*8, 8); got != i {
+					t.Errorf("goroutine %d: Load = %d, want %d", g, got, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Property: any store followed by a load of the same size/address returns
+// the value truncated to the store width.
+func TestStoreLoadProperty(t *testing.T) {
+	m := New()
+	sizes := []int{1, 2, 4, 8}
+	check := func(addr uint64, sizeIdx uint8, val uint64) bool {
+		addr %= 1 << 40
+		size := sizes[int(sizeIdx)%len(sizes)]
+		m.Store(addr, size, val)
+		want := val
+		if size < 8 {
+			want &= (1 << (8 * size)) - 1
+		}
+		return m.Load(addr, size) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

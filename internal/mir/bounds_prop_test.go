@@ -1,0 +1,143 @@
+package mir
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctypes"
+)
+
+// These tests pin down the interpreter's bounds-register semantics, which
+// the Fig. 3 schema depends on: derivations (Mov/Field/Index/Cast) carry
+// bounds along, inputs (Load/Call results) reset them to wide until a
+// check re-establishes them.
+
+// buildBoundsProbe returns a program where main narrows a pointer via an
+// explicit check sequence and then probes whether the bounds survived a
+// given derivation op by accessing out of the narrowed range.
+func buildBoundsProbe(t *testing.T, derive func(b *FuncBuilder, src int) int) (*core.Runtime, error) {
+	t.Helper()
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	b := NewFunc(p, "main", ctypes.Int)
+	obj := b.MallocN(ctypes.Int, 8) // 32 bytes
+	// Establish real bounds on obj.
+	b.F.Blocks[b.CurBlock()].Instrs = append(b.F.Blocks[b.CurBlock()].Instrs,
+		Instr{Op: OpBoundsGet, Dst: -1, A: obj, B: -1, C: -1})
+	d := derive(b, obj)
+	// Probe: bounds-check an access 8 bytes past the allocation through
+	// the derived register.
+	oob := b.Index(ctypes.Int, d, b.Const(ctypes.Int, 8))
+	b.F.Blocks[b.CurBlock()].Instrs = append(b.F.Blocks[b.CurBlock()].Instrs,
+		Instr{Op: OpBoundsCheck, Dst: -1, A: oob, B: -1, C: -1, Aux: 4, Type: ctypes.Int})
+	b.Ret(b.Const(ctypes.Int, 0))
+
+	rt := core.NewRuntime(core.Options{Types: tb})
+	in, err := New(p, Options{Env: NewEffEnv(rt)})
+	if err != nil {
+		return nil, err
+	}
+	_, err = in.Run("main")
+	return rt, err
+}
+
+func TestBoundsPropagateThroughMov(t *testing.T) {
+	rt, err := buildBoundsProbe(t, func(b *FuncBuilder, src int) int {
+		return b.Mov(src)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Reporter.IssuesByKind()[core.BoundsError] != 1 {
+		t.Fatal("bounds lost through Mov: OOB access not caught")
+	}
+}
+
+func TestBoundsPropagateThroughIndex(t *testing.T) {
+	rt, err := buildBoundsProbe(t, func(b *FuncBuilder, src int) int {
+		return b.Index(ctypes.Int, src, b.Const(ctypes.Int, 2))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Reporter.IssuesByKind()[core.BoundsError] != 1 {
+		t.Fatal("bounds lost through Index")
+	}
+}
+
+func TestBoundsPropagateThroughCast(t *testing.T) {
+	rt, err := buildBoundsProbe(t, func(b *FuncBuilder, src int) int {
+		tb := b.P.Types
+		return b.Cast(tb.PointerTo(ctypes.Char), tb.PointerTo(ctypes.Int), src)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Reporter.IssuesByKind()[core.BoundsError] != 1 {
+		t.Fatal("bounds lost through Cast")
+	}
+}
+
+func TestLoadResetsBoundsToWide(t *testing.T) {
+	// A pointer loaded from memory has no derivation chain: its bounds
+	// register is wide until an input check (rule (c)) re-establishes
+	// them. Without the check, the OOB probe passes silently.
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	b := NewFunc(p, "main", ctypes.Int)
+	intPtr := tb.PointerTo(ctypes.Int)
+	cell := b.MallocN(intPtr, 1)
+	obj := b.MallocN(ctypes.Int, 8)
+	b.F.Blocks[b.CurBlock()].Instrs = append(b.F.Blocks[b.CurBlock()].Instrs,
+		Instr{Op: OpBoundsGet, Dst: -1, A: obj, B: -1, C: -1})
+	b.Store(intPtr, cell, obj)
+	loaded := b.Load(intPtr, cell)
+	oob := b.Index(ctypes.Int, loaded, b.Const(ctypes.Int, 100))
+	b.F.Blocks[b.CurBlock()].Instrs = append(b.F.Blocks[b.CurBlock()].Instrs,
+		Instr{Op: OpBoundsCheck, Dst: -1, A: oob, B: -1, C: -1, Aux: 4, Type: ctypes.Int})
+	b.Ret(b.Const(ctypes.Int, 0))
+
+	rt := core.NewRuntime(core.Options{Types: tb})
+	in, err := New(p, Options{Env: NewEffEnv(rt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Reporter.Total() != 0 {
+		t.Fatal("loaded pointer should have wide bounds until checked (rule (c) is the instrumenter's job)")
+	}
+}
+
+func TestNarrowRefinesInPlace(t *testing.T) {
+	// OpBoundsNarrow intersects the register's existing bounds.
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	b := NewFunc(p, "main", ctypes.Int)
+	obj := b.MallocN(ctypes.Int, 8)
+	cur := b.F.Blocks[b.CurBlock()]
+	_ = cur
+	b.F.Blocks[b.CurBlock()].Instrs = append(b.F.Blocks[b.CurBlock()].Instrs,
+		Instr{Op: OpBoundsGet, Dst: -1, A: obj, B: -1, C: -1},
+		Instr{Op: OpBoundsNarrow, Dst: -1, A: obj, B: -1, C: -1, Aux: 8}, // [obj, obj+8)
+		Instr{Op: OpBoundsCheck, Dst: -1, A: obj, B: -1, C: -1, Aux: 8, Type: ctypes.Long},
+	)
+	two := b.Const(ctypes.Int, 2)
+	third := b.Index(ctypes.Int, obj, two) // obj+8: outside the narrowed range
+	b.F.Blocks[b.CurBlock()].Instrs = append(b.F.Blocks[b.CurBlock()].Instrs,
+		Instr{Op: OpBoundsCheck, Dst: -1, A: third, B: -1, C: -1, Aux: 4, Type: ctypes.Int})
+	b.Ret(b.Const(ctypes.Int, 0))
+
+	rt := core.NewRuntime(core.Options{Types: tb})
+	in, err := New(p, Options{Env: NewEffEnv(rt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Reporter.IssuesByKind()[core.BoundsError] != 1 {
+		t.Fatalf("narrowed bounds not enforced: %s", rt.Reporter.Log())
+	}
+}

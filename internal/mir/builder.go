@@ -1,0 +1,257 @@
+package mir
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctypes"
+)
+
+// FuncBuilder incrementally constructs a Func. It is the construction API
+// used by the mini-C frontend, the synthetic workloads, and tests.
+//
+// Registers are allocated with Reg (parameters occupy registers
+// 0..len(params)-1). Blocks are created with NewBlock and selected with
+// SetBlock; emission appends to the selected block.
+type FuncBuilder struct {
+	P *Program
+	F *Func
+
+	cur int
+}
+
+// NewFunc starts a function and registers it in the program.
+func NewFunc(p *Program, name string, ret *ctypes.Type, params ...Param) *FuncBuilder {
+	f := &Func{Name: name, Params: params, Ret: ret, NumRegs: len(params)}
+	p.Funcs[name] = f
+	b := &FuncBuilder{P: p, F: f}
+	b.NewBlock("entry")
+	return b
+}
+
+// Reg allocates a fresh virtual register.
+func (b *FuncBuilder) Reg() int {
+	r := b.F.NumRegs
+	b.F.NumRegs++
+	return r
+}
+
+// Param returns the register of the i'th parameter.
+func (b *FuncBuilder) Param(i int) int { return i }
+
+// NewBlock appends a new block and selects it, returning its index.
+func (b *FuncBuilder) NewBlock(name string) int {
+	b.F.Blocks = append(b.F.Blocks, &Block{Name: name})
+	b.cur = len(b.F.Blocks) - 1
+	return b.cur
+}
+
+// Reserve creates a block without selecting it (for forward branches).
+func (b *FuncBuilder) Reserve(name string) int {
+	b.F.Blocks = append(b.F.Blocks, &Block{Name: name})
+	return len(b.F.Blocks) - 1
+}
+
+// SetBlock selects the emission target.
+func (b *FuncBuilder) SetBlock(i int) { b.cur = i }
+
+// CurBlock returns the selected block index.
+func (b *FuncBuilder) CurBlock() int { return b.cur }
+
+func (b *FuncBuilder) emit(in Instr) {
+	blk := b.F.Blocks[b.cur]
+	blk.Instrs = append(blk.Instrs, in)
+}
+
+// Const emits an integer/pointer constant.
+func (b *FuncBuilder) Const(t *ctypes.Type, v int64) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpConst, Dst: d, A: -1, B: -1, C: -1, Imm: v, Type: t})
+	return d
+}
+
+// ConstF emits a floating constant.
+func (b *FuncBuilder) ConstF(t *ctypes.Type, v float64) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpConst, Dst: d, A: -1, B: -1, C: -1,
+		Imm: int64(math.Float64bits(v)), Type: t})
+	return d
+}
+
+// Mov emits dst = a.
+func (b *FuncBuilder) Mov(a int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpMov, Dst: d, A: a, B: -1, C: -1})
+	return d
+}
+
+// MovTo emits an assignment into an existing register (for loop
+// variables in non-SSA form).
+func (b *FuncBuilder) MovTo(dst, a int) {
+	b.emit(Instr{Op: OpMov, Dst: dst, A: a, B: -1, C: -1})
+}
+
+// Bin emits dst = a <k> b with operand type t.
+func (b *FuncBuilder) Bin(k BinKind, t *ctypes.Type, a, c int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpBin, Dst: d, A: a, B: c, C: -1, Aux: int64(k), Type: t})
+	return d
+}
+
+// BinTo emits dst = a <k> b into an existing register.
+func (b *FuncBuilder) BinTo(dst int, k BinKind, t *ctypes.Type, a, c int) {
+	b.emit(Instr{Op: OpBin, Dst: dst, A: a, B: c, C: -1, Aux: int64(k), Type: t})
+}
+
+// Cmp emits dst = a <k> b (0/1) comparing with type t semantics.
+func (b *FuncBuilder) Cmp(k CmpKind, t *ctypes.Type, a, c int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpCmp, Dst: d, A: a, B: c, C: -1, Aux: int64(k), Type: t})
+	return d
+}
+
+// Not emits dst = !a.
+func (b *FuncBuilder) Not(a int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpNot, Dst: d, A: a, B: -1, C: -1})
+	return d
+}
+
+// Cast emits dst = (to)a where a has static type from.
+func (b *FuncBuilder) Cast(to, from *ctypes.Type, a int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpCast, Dst: d, A: a, B: -1, C: -1, Type: to, CastFrom: from})
+	return d
+}
+
+// Global emits dst = &global[idx].
+func (b *FuncBuilder) Global(idx int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpGlobal, Dst: d, A: -1, B: -1, C: -1, Aux: int64(idx)})
+	return d
+}
+
+// Alloca emits a stack allocation of n objects of type t.
+func (b *FuncBuilder) Alloca(t *ctypes.Type, n int64) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpAlloca, Dst: d, A: -1, B: -1, C: -1, Aux: n, Type: t})
+	return d
+}
+
+// Malloc emits a heap allocation of sizeReg bytes with inferred element
+// type t.
+func (b *FuncBuilder) Malloc(t *ctypes.Type, sizeReg int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpMalloc, Dst: d, A: sizeReg, B: -1, C: -1, Type: t})
+	return d
+}
+
+// MallocN is Malloc of n objects of type t with a constant size.
+func (b *FuncBuilder) MallocN(t *ctypes.Type, n int64) int {
+	size := b.Const(ctypes.ULong, n*t.Size())
+	return b.Malloc(t, size)
+}
+
+// Free emits free(a).
+func (b *FuncBuilder) Free(a int) {
+	b.emit(Instr{Op: OpFree, Dst: -1, A: a, B: -1, C: -1})
+}
+
+// Realloc emits dst = realloc(a, sizeReg).
+func (b *FuncBuilder) Realloc(a, sizeReg int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpRealloc, Dst: d, A: a, B: sizeReg, C: -1})
+	return d
+}
+
+// Load emits dst = *(t*)a.
+func (b *FuncBuilder) Load(t *ctypes.Type, a int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpLoad, Dst: d, A: a, B: -1, C: -1, Type: t})
+	return d
+}
+
+// Store emits *(t*)a = v.
+func (b *FuncBuilder) Store(t *ctypes.Type, a, v int) {
+	b.emit(Instr{Op: OpStore, Dst: -1, A: a, B: v, C: -1, Type: t})
+}
+
+// Field emits dst = &a->name for record type rec.
+func (b *FuncBuilder) Field(rec *ctypes.Type, a int, name string) int {
+	f, ok := rec.FieldByName(name)
+	if !ok {
+		panic(fmt.Sprintf("mir: %s has no field %q", rec, name))
+	}
+	d := b.Reg()
+	b.emit(Instr{Op: OpField, Dst: d, A: a, B: -1, C: -1, Aux: f.Offset, Type: f.Type})
+	return d
+}
+
+// FieldAt emits dst = a + off with field type t (for computed layouts).
+func (b *FuncBuilder) FieldAt(t *ctypes.Type, a int, off int64) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpField, Dst: d, A: a, B: -1, C: -1, Aux: off, Type: t})
+	return d
+}
+
+// Index emits dst = a + idx*sizeof(elem).
+func (b *FuncBuilder) Index(elem *ctypes.Type, a, idx int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpIndex, Dst: d, A: a, B: idx, C: -1, Type: elem})
+	return d
+}
+
+// Memcpy emits memcpy(dst, src, n).
+func (b *FuncBuilder) Memcpy(dst, src, n int) {
+	b.emit(Instr{Op: OpMemcpy, Dst: -1, A: dst, B: src, C: n})
+}
+
+// Memset emits memset(p, byte, n).
+func (b *FuncBuilder) Memset(p, v, n int) {
+	b.emit(Instr{Op: OpMemset, Dst: -1, A: p, B: v, C: n})
+}
+
+// Call emits dst = callee(args...) and returns dst (-1-free form for void
+// calls is CallV).
+func (b *FuncBuilder) Call(callee string, args ...int) int {
+	d := b.Reg()
+	b.emit(Instr{Op: OpCall, Dst: d, A: -1, B: -1, C: -1, Callee: callee,
+		Args: append([]int(nil), args...)})
+	return d
+}
+
+// CallV emits a void call.
+func (b *FuncBuilder) CallV(callee string, args ...int) {
+	b.emit(Instr{Op: OpCall, Dst: -1, A: -1, B: -1, C: -1, Callee: callee,
+		Args: append([]int(nil), args...)})
+}
+
+// Ret emits return a.
+func (b *FuncBuilder) Ret(a int) {
+	b.emit(Instr{Op: OpRet, Dst: -1, A: a, B: -1, C: -1})
+}
+
+// RetVoid emits a void return.
+func (b *FuncBuilder) RetVoid() {
+	b.emit(Instr{Op: OpRet, Dst: -1, A: -1, B: -1, C: -1})
+}
+
+// Jmp emits an unconditional jump.
+func (b *FuncBuilder) Jmp(to int) {
+	b.emit(Instr{Op: OpJmp, Dst: -1, A: -1, B: -1, C: -1, To: to})
+}
+
+// Br emits a conditional branch.
+func (b *FuncBuilder) Br(cond, then, els int) {
+	b.emit(Instr{Op: OpBr, Dst: -1, A: cond, B: -1, C: -1, To: then, Else: els})
+}
+
+// Print emits output of register a formatted per t.
+func (b *FuncBuilder) Print(t *ctypes.Type, a int) {
+	b.emit(Instr{Op: OpPrint, Dst: -1, A: a, B: -1, C: -1, Type: t})
+}
+
+// Puts emits a literal line of output.
+func (b *FuncBuilder) Puts(s string) {
+	b.emit(Instr{Op: OpPuts, Dst: -1, A: -1, B: -1, C: -1, Str: s})
+}

@@ -1,0 +1,448 @@
+package mir
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctypes"
+)
+
+func runProg(t *testing.T, p *Program, fn string, args ...uint64) uint64 {
+	t.Helper()
+	in, err := New(p, Options{Env: NewPlainEnv(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := in.Run(fn, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "main", ctypes.Int)
+	a := b.Const(ctypes.Int, 6)
+	c := b.Const(ctypes.Int, 7)
+	m := b.Bin(BinMul, ctypes.Int, a, c)
+	s := b.Const(ctypes.Int, 2)
+	r := b.Bin(BinSub, ctypes.Int, m, s)
+	b.Ret(r)
+	if got := runProg(t, p, "main"); got != 40 {
+		t.Fatalf("main() = %d, want 40", got)
+	}
+}
+
+func TestSignedArithmetic(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "f", ctypes.Int)
+	a := b.Const(ctypes.Int, -7)
+	c := b.Const(ctypes.Int, 2)
+	d := b.Bin(BinDiv, ctypes.Int, a, c) // -3 under C truncation
+	b.Ret(d)
+	if got := int64(runProg(t, p, "f")); got != -3 {
+		t.Fatalf("-7/2 = %d, want -3", got)
+	}
+}
+
+func TestDivByZeroYieldsZero(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "f", ctypes.Int)
+	a := b.Const(ctypes.Int, 7)
+	z := b.Const(ctypes.Int, 0)
+	b.Ret(b.Bin(BinDiv, ctypes.Int, a, z))
+	if got := runProg(t, p, "f"); got != 0 {
+		t.Fatalf("7/0 = %d, want 0 (documented semantics)", got)
+	}
+}
+
+func TestFloatMath(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "f", ctypes.Int)
+	x := b.ConstF(ctypes.Double, 1.5)
+	y := b.ConstF(ctypes.Double, 2.25)
+	s := b.Bin(BinAdd, ctypes.Double, x, y)
+	i := b.Cast(ctypes.Int, ctypes.Double, s) // (int)3.75 == 3
+	b.Ret(i)
+	if got := runProg(t, p, "f"); got != 3 {
+		t.Fatalf("(int)(1.5+2.25) = %d, want 3", got)
+	}
+}
+
+func TestFloatSinglePrecisionRounding(t *testing.T) {
+	// Storing through a float (4-byte) slot must round to single
+	// precision.
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "f", ctypes.Double)
+	obj := b.Alloca(ctypes.Float, 1)
+	v := b.ConstF(ctypes.Double, 0.1)
+	vf := b.Cast(ctypes.Float, ctypes.Double, v)
+	b.Store(ctypes.Float, obj, vf)
+	r := b.Load(ctypes.Float, obj)
+	rd := b.Cast(ctypes.Double, ctypes.Float, r)
+	b.Ret(rd)
+	bits := runProg(t, p, "f")
+	if bits == 0 {
+		t.Fatal("lost value")
+	}
+	got := math.Float64frombits(bits)
+	if got == 0.1 {
+		t.Fatal("float slot kept double precision")
+	}
+	if diff := got - 0.1; diff > 1e-7 || diff < -1e-7 {
+		t.Fatalf("float round-trip too lossy: %v", got)
+	}
+}
+
+func TestLoopAndBranch(t *testing.T) {
+	// sum of 1..10 via a loop.
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "sum10", ctypes.Int)
+	sum := b.Const(ctypes.Int, 0)
+	i := b.Const(ctypes.Int, 1)
+	lim := b.Const(ctypes.Int, 10)
+	loop := b.Reserve("loop")
+	body := b.Reserve("body")
+	done := b.Reserve("done")
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	c := b.Cmp(CmpLe, ctypes.Int, i, lim)
+	b.Br(c, body, done)
+	b.SetBlock(body)
+	b.BinTo(sum, BinAdd, ctypes.Int, sum, i)
+	one := b.Const(ctypes.Int, 1)
+	b.BinTo(i, BinAdd, ctypes.Int, i, one)
+	b.Jmp(loop)
+	b.SetBlock(done)
+	b.Ret(sum)
+	if got := runProg(t, p, "sum10"); got != 55 {
+		t.Fatalf("sum10() = %d, want 55", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "fact", ctypes.Long, Param{"n", ctypes.Long})
+	n := b.Param(0)
+	zero := b.Const(ctypes.Long, 1)
+	c := b.Cmp(CmpLe, ctypes.Long, n, zero)
+	rec := b.Reserve("rec")
+	base := b.Reserve("base")
+	b.Br(c, base, rec)
+	b.SetBlock(base)
+	one := b.Const(ctypes.Long, 1)
+	b.Ret(one)
+	b.SetBlock(rec)
+	oneb := b.Const(ctypes.Long, 1)
+	n1 := b.Bin(BinSub, ctypes.Long, n, oneb)
+	sub := b.Call("fact", n1)
+	r := b.Bin(BinMul, ctypes.Long, n, sub)
+	b.Ret(r)
+	if got := runProg(t, p, "fact", 10); got != 3628800 {
+		t.Fatalf("fact(10) = %d, want 3628800", got)
+	}
+}
+
+func TestMemoryAndFields(t *testing.T) {
+	tb := ctypes.NewTable()
+	s := tb.MustParse("struct Pt { int x; int y; }")
+	p := NewProgram(tb)
+	b := NewFunc(p, "main", ctypes.Int)
+	obj := b.Alloca(s, 1)
+	fx := b.Field(s, obj, "x")
+	fy := b.Field(s, obj, "y")
+	b.Store(ctypes.Int, fx, b.Const(ctypes.Int, 30))
+	b.Store(ctypes.Int, fy, b.Const(ctypes.Int, 12))
+	vx := b.Load(ctypes.Int, fx)
+	vy := b.Load(ctypes.Int, fy)
+	b.Ret(b.Bin(BinAdd, ctypes.Int, vx, vy))
+	if got := runProg(t, p, "main"); got != 42 {
+		t.Fatalf("main() = %d, want 42", got)
+	}
+}
+
+func TestArrayIndexing(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "main", ctypes.Int)
+	arr := b.MallocN(ctypes.Int, 16)
+	// arr[i] = i*i; return arr[7].
+	i := b.Const(ctypes.Int, 0)
+	lim := b.Const(ctypes.Int, 16)
+	loop, body, done := b.Reserve("loop"), b.Reserve("body"), b.Reserve("done")
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.Br(b.Cmp(CmpLt, ctypes.Int, i, lim), body, done)
+	b.SetBlock(body)
+	el := b.Index(ctypes.Int, arr, i)
+	sq := b.Bin(BinMul, ctypes.Int, i, i)
+	b.Store(ctypes.Int, el, sq)
+	b.BinTo(i, BinAdd, ctypes.Int, i, b.Const(ctypes.Int, 1))
+	b.Jmp(loop)
+	b.SetBlock(done)
+	seven := b.Const(ctypes.Int, 7)
+	v := b.Load(ctypes.Int, b.Index(ctypes.Int, arr, seven))
+	b.Free(arr)
+	b.Ret(v)
+	if got := runProg(t, p, "main"); got != 49 {
+		t.Fatalf("main() = %d, want 49", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	gi := p.AddGlobal("counter", ctypes.Long, 1)
+	b := NewFunc(p, "bump", ctypes.Long)
+	g := b.Global(gi)
+	v := b.Load(ctypes.Long, g)
+	nv := b.Bin(BinAdd, ctypes.Long, v, b.Const(ctypes.Long, 1))
+	b.Store(ctypes.Long, g, nv)
+	b.Ret(nv)
+
+	in, err := New(p, Options{Env: NewPlainEnv(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := uint64(1); want <= 3; want++ {
+		got, err := in.Run("bump")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bump #%d = %d", want, got)
+		}
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "main", nil)
+	b.Puts("hello")
+	b.Print(ctypes.Int, b.Const(ctypes.Int, -5))
+	b.Print(ctypes.Double, b.ConstF(ctypes.Double, 2.5))
+	b.RetVoid()
+	var out bytes.Buffer
+	in, err := New(p, Options{Env: NewPlainEnv(nil), Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	want := "hello\n-5\n2.5\n"
+	if out.String() != want {
+		t.Fatalf("output = %q, want %q", out.String(), want)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "spin", nil)
+	loop := b.Reserve("loop")
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.Jmp(loop)
+	in, err := New(p, Options{Env: NewPlainEnv(nil), MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run("spin"); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v, want step limit", err)
+	}
+}
+
+func TestNullDerefTraps(t *testing.T) {
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	b := NewFunc(p, "main", ctypes.Int)
+	null := b.Const(tb.PointerTo(ctypes.Int), 0)
+	v := b.Load(ctypes.Int, null)
+	b.Ret(v)
+	in, err := New(p, Options{Env: NewPlainEnv(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run("main"); err == nil || !strings.Contains(err.Error(), "null-page") {
+		t.Fatalf("err = %v, want null-page trap", err)
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	tb := ctypes.NewTable()
+	cases := []func(p *Program){
+		func(p *Program) { // missing terminator
+			f := &Func{Name: "f", NumRegs: 1,
+				Blocks: []*Block{{Name: "e", Instrs: []Instr{{Op: OpConst, Dst: 0, A: -1, B: -1, C: -1, Type: ctypes.Int}}}}}
+			p.Funcs["f"] = f
+		},
+		func(p *Program) { // bad register
+			f := &Func{Name: "f", NumRegs: 1,
+				Blocks: []*Block{{Name: "e", Instrs: []Instr{{Op: OpRet, Dst: -1, A: 5, B: -1, C: -1}}}}}
+			f.Ret = ctypes.Int
+			p.Funcs["f"] = f
+		},
+		func(p *Program) { // unknown callee
+			b := NewFunc(p, "f", nil)
+			b.CallV("missing")
+			b.RetVoid()
+		},
+		func(p *Program) { // jump out of range
+			b := NewFunc(p, "f", nil)
+			b.Jmp(9)
+		},
+		func(p *Program) { // load without type
+			f := &Func{Name: "f", NumRegs: 2,
+				Blocks: []*Block{{Name: "e", Instrs: []Instr{
+					{Op: OpLoad, Dst: 1, A: 0, B: -1, C: -1},
+					{Op: OpRet, Dst: -1, A: -1, B: -1, C: -1}}}}}
+			p.Funcs["f"] = f
+		},
+	}
+	for i, build := range cases {
+		p := NewProgram(tb)
+		build(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a bad program", i)
+		}
+	}
+}
+
+func TestStackObjectsFreedWithFrame(t *testing.T) {
+	// Under EffEnv, returning from a function rebinds its stack objects
+	// to FREE, so a dangling stack pointer use is detected.
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+
+	leak := NewFunc(p, "leak", tb.PointerTo(ctypes.Int))
+	obj := leak.Alloca(ctypes.Int, 4)
+	leak.Ret(obj)
+
+	b := NewFunc(p, "main", ctypes.Int)
+	dangling := b.Call("leak")
+	// Manually instrumented type check on the (dangling) input pointer,
+	// as rule 3(b) would insert.
+	b.F.Blocks[b.CurBlock()].Instrs = append(b.F.Blocks[b.CurBlock()].Instrs,
+		Instr{Op: OpTypeCheck, Dst: -1, A: dangling, B: -1, C: -1, Type: ctypes.Int})
+	v := b.Load(ctypes.Int, dangling)
+	b.Ret(v)
+
+	rt := core.NewRuntime(core.Options{Types: tb})
+	in, err := New(p, Options{Env: NewEffEnv(rt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Reporter.IssuesByKind()[core.UseAfterFree] != 1 {
+		t.Fatalf("dangling stack pointer not detected: %s", rt.Reporter.Log())
+	}
+}
+
+func TestMemcpyMemset(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "main", ctypes.Int)
+	src := b.MallocN(ctypes.Char, 16)
+	dst := b.MallocN(ctypes.Char, 16)
+	b.Memset(src, b.Const(ctypes.Int, 0x41), b.Const(ctypes.ULong, 16))
+	b.Memcpy(dst, src, b.Const(ctypes.ULong, 16))
+	v := b.Load(ctypes.Char, b.Index(ctypes.Char, dst, b.Const(ctypes.Int, 15)))
+	b.Ret(v)
+	if got := runProg(t, p, "main"); got != 0x41 {
+		t.Fatalf("memcpy result = %#x, want 0x41", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "f", ctypes.Int)
+	b.Ret(b.Const(ctypes.Int, 1))
+	clone := p.Clone()
+	clone.Funcs["f"].Blocks[0].Instrs[0].Imm = 99
+	if got := runProg(t, p, "f"); got != 1 {
+		t.Fatalf("clone mutation leaked into the original: %d", got)
+	}
+}
+
+// recorder implements Hooks and records invocations.
+type recorder struct {
+	accesses, casts, derives, ptrStores, ptrLoads int
+}
+
+func (r *recorder) Access(p uint64, size uint64, write bool, static *ctypes.Type, site string) {
+	r.accesses++
+}
+func (r *recorder) Cast(p uint64, from, to *ctypes.Type, site string) { r.casts++ }
+func (r *recorder) Derive(newPtr, basePtr uint64, field bool, lo, hi uint64, site string) {
+	r.derives++
+}
+func (r *recorder) PtrStore(addr, val uint64, site string) { r.ptrStores++ }
+func (r *recorder) PtrLoad(addr, val uint64, site string)  { r.ptrLoads++ }
+
+func TestHooksInvoked(t *testing.T) {
+	tb := ctypes.NewTable()
+	s := tb.MustParse("struct HK { struct HK *next; int v; }")
+	sp := tb.PointerTo(s)
+	p := NewProgram(tb)
+	b := NewFunc(p, "main", ctypes.Int)
+	obj := b.Alloca(s, 1)
+	fNext := b.Field(s, obj, "next")
+	cast := b.Cast(sp, tb.PointerTo(ctypes.Void), obj)
+	b.Store(sp, fNext, cast)
+	ld := b.Load(sp, fNext)
+	_ = ld
+	b.Ret(b.Const(ctypes.Int, 0))
+
+	rec := &recorder{}
+	in, err := New(p, Options{Env: NewPlainEnv(nil), Hooks: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.accesses != 2 { // one store + one load
+		t.Errorf("accesses = %d, want 2", rec.accesses)
+	}
+	if rec.casts != 1 {
+		t.Errorf("casts = %d, want 1", rec.casts)
+	}
+	if rec.derives != 1 { // the field selection
+		t.Errorf("derives = %d, want 1", rec.derives)
+	}
+	if rec.ptrStores != 1 || rec.ptrLoads != 1 {
+		t.Errorf("ptrStores/ptrLoads = %d/%d, want 1/1", rec.ptrStores, rec.ptrLoads)
+	}
+}
+
+func TestUnsignedVsSignedCompare(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "f", ctypes.Int)
+	neg := b.Const(ctypes.Int, -1)
+	one := b.Const(ctypes.Int, 1)
+	signed := b.Cmp(CmpLt, ctypes.Int, neg, one)    // -1 < 1 -> 1
+	unsigned := b.Cmp(CmpLt, ctypes.UInt, neg, one) // 0xffffffff... < 1 -> 0
+	r := b.Bin(BinShl, ctypes.Int, signed, one)
+	r = b.Bin(BinOr, ctypes.Int, r, unsigned)
+	b.Ret(r)
+	if got := runProg(t, p, "f"); got != 2 {
+		t.Fatalf("cmp combo = %d, want 2", got)
+	}
+}
+
+func TestCharSignExtension(t *testing.T) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "f", ctypes.Int)
+	obj := b.Alloca(ctypes.Char, 1)
+	b.Store(ctypes.Char, obj, b.Const(ctypes.Int, 0xFF))
+	v := b.Load(ctypes.Char, obj) // char is signed: 0xFF -> -1
+	vi := b.Cast(ctypes.Int, ctypes.Char, v)
+	b.Ret(vi)
+	if got := int32(runProg(t, p, "f")); got != -1 {
+		t.Fatalf("(int)(char)0xFF = %d, want -1", got)
+	}
+}

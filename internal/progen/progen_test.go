@@ -1,0 +1,101 @@
+package progen
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/ctypes"
+	"repro/internal/sanitizers"
+)
+
+// TestDeterminism: equal seeds must produce identical sources.
+func TestDeterminism(t *testing.T) {
+	a := Generate(42, Options{})
+	b := Generate(42, Options{})
+	if a != b {
+		t.Fatal("Generate is not deterministic")
+	}
+	if a == Generate(43, Options{}) {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+// TestGeneratedProgramsCompile: a spread of seeds must all compile.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		src := Generate(seed, Options{})
+		if _, err := cc.Compile(src, ctypes.NewTable()); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestDifferentialSoundness is the core property: for every seed, the
+// program's result is identical under the uninstrumented interpreter and
+// all three EffectiveSan variants, and no variant reports anything (the
+// programs are clean by construction). Any report is a false positive;
+// any result change is an instrumentation bug.
+func TestDifferentialSoundness(t *testing.T) {
+	tools := []*sanitizers.Tool{
+		sanitizers.ToolUninstrumented,
+		sanitizers.ToolEffectiveSan,
+		sanitizers.ToolEffBounds,
+		sanitizers.ToolEffType,
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		src := Generate(seed, Options{})
+		var want uint64
+		for i, tool := range tools {
+			prog, err := cc.Compile(src, ctypes.NewTable())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := tool.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatalf("seed %d under %s: %v", seed, tool.Name, err)
+			}
+			if res.Reporter.Total() > 0 {
+				t.Errorf("seed %d under %s: FALSE POSITIVE\n%s",
+					seed, tool.Name, res.Reporter.Log())
+			}
+			if i == 0 {
+				want = res.Value
+			} else if res.Value != want {
+				t.Errorf("seed %d under %s: result %d, want %d (semantics changed)",
+					seed, tool.Name, res.Value, want)
+			}
+		}
+	}
+}
+
+// TestBaselinesNoFalsePositives runs a smaller seed spread under every
+// baseline sanitizer model: clean programs must stay silent everywhere.
+func TestBaselinesNoFalsePositives(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		src := Generate(seed, Options{})
+		for _, tool := range sanitizers.Baselines() {
+			prog, err := cc.Compile(src, ctypes.NewTable())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := tool.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatalf("seed %d under %s: %v", seed, tool.Name, err)
+			}
+			if res.Reporter.Total() > 0 {
+				t.Errorf("seed %d under %s: FALSE POSITIVE\n%s",
+					seed, tool.Name, res.Reporter.Log())
+			}
+		}
+	}
+}
+
+// TestShapeOptions: options actually change the generated shape.
+func TestShapeOptions(t *testing.T) {
+	small := Generate(7, Options{Types: 1, Funcs: 1, Rounds: 1})
+	big := Generate(7, Options{Types: 6, Funcs: 2, Rounds: 4})
+	if len(big) <= len(small) {
+		t.Fatal("larger options did not grow the program")
+	}
+}

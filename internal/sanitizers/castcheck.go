@@ -1,0 +1,109 @@
+package sanitizers
+
+import (
+	"repro/internal/core"
+	"repro/internal/ctypes"
+)
+
+// castFilter selects which explicit pointer casts a cast checker
+// instruments — the key coverage difference among the type-confusion
+// sanitizers of §2.1, all of which "only verify incomplete types" and
+// "instrument explicit cast operations only".
+type castFilter int
+
+const (
+	// filterClassCasts: C++ class-to-class casts only (CaVer, TypeSan).
+	filterClassCasts castFilter = iota
+	// filterDowncasts: static_cast downcasts only (UBSan's
+	// static->dynamic_cast conversion needs an RTTI base).
+	filterDowncasts
+	// filterRecordCasts: any record-to-record cast, including
+	// reinterpret_cast-style struct casts (HexType).
+	filterRecordCasts
+	// filterCCasts: casts from untyped C pointers (void*/char*) to typed
+	// pointers (libcrunch).
+	filterCCasts
+)
+
+// CastChecker models the family of explicit-cast type-confusion
+// sanitizers: it verifies casts (per its filter) against the allocation
+// type recorded at malloc/new time, and checks nothing else — implicit
+// casts, dereferences, bounds and temporal errors all pass silently
+// (Fig. 1: Types Partial*, Bounds ✗, UAF ✗).
+type CastChecker struct {
+	*base
+	filter castFilter
+}
+
+// NewCaVer returns a CaVer model (C++ downcast verification).
+func NewCaVer() *CastChecker {
+	return &CastChecker{newBase("CaVer", 0), filterClassCasts}
+}
+
+// NewTypeSan returns a TypeSan model (C++ class casts).
+func NewTypeSan() *CastChecker {
+	return &CastChecker{newBase("TypeSan", 0), filterClassCasts}
+}
+
+// NewUBSan returns a UBSan model (-fsanitize=vptr: downcasts only).
+func NewUBSan() *CastChecker {
+	return &CastChecker{newBase("UBSan", 0), filterDowncasts}
+}
+
+// NewHexType returns a HexType model (all record casts).
+func NewHexType() *CastChecker {
+	return &CastChecker{newBase("HexType", 0), filterRecordCasts}
+}
+
+// NewLibcrunch returns a libcrunch model (explicit C casts from untyped
+// pointers).
+func NewLibcrunch() *CastChecker {
+	return &CastChecker{newBase("libcrunch", 0), filterCCasts}
+}
+
+// Cast verifies an explicit pointer cast against the allocation type.
+func (cc *CastChecker) Cast(p uint64, from, to *ctypes.Type, site string) {
+	if p == 0 || from.Kind != ctypes.KindPointer || to.Kind != ctypes.KindPointer {
+		return
+	}
+	fe, te := from.Elem, to.Elem
+	switch cc.filter {
+	case filterClassCasts:
+		if fe.Kind != ctypes.KindClass || te.Kind != ctypes.KindClass {
+			return
+		}
+	case filterDowncasts:
+		// Only casts from a base class to one of its derived classes are
+		// rewritten into dynamic_casts.
+		if fe.Kind != ctypes.KindClass || te.Kind != ctypes.KindClass || !te.HasBase(fe) {
+			return
+		}
+	case filterRecordCasts:
+		if !fe.IsRecord() || !te.IsRecord() {
+			return
+		}
+	case filterCCasts:
+		if !(fe == ctypes.Void || fe == ctypes.Char) || te == ctypes.Void || te == ctypes.Char {
+			return
+		}
+	}
+	rec := cc.lookup(p)
+	if rec == nil || rec.typ == nil {
+		return // untracked (legacy/stack in some tools): unchecked
+	}
+	d := rec.typ
+	switch d {
+	case ctypes.Char, ctypes.UChar, ctypes.SChar, ctypes.Void:
+		// Untyped byte buffers: every cast checker treats raw storage as
+		// castable to anything (malloc'd char buffers, arenas).
+		return
+	}
+	// The cast is valid when the object really is a te, or derives from
+	// te (so the cast is an upcast or a downcast to the true type).
+	// Everything else — sibling casts, container casts, downcasts of an
+	// actually-base-typed object — is confusion.
+	if d == te || d.HasBase(te) {
+		return
+	}
+	cc.rep.Report(core.TypeError, te.String(), d.String(), 0, site)
+}

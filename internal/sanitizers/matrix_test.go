@@ -1,0 +1,145 @@
+package sanitizers
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bugsuite"
+)
+
+// expectedDetectors maps each bug-suite case to the exact set of tools
+// that must detect it — the ground truth behind the Fig. 1 capability
+// matrix. EffectiveSan's row (Types ✓, Bounds ✓, UAF Partial§) and every
+// baseline's documented blind spots follow from this table.
+var expectedDetectors = map[string][]string{
+	// Types column.
+	"bad-downcast":          {"CaVer", "TypeSan", "UBSan", "HexType", "EffectiveSan"},
+	"struct-cast":           {"HexType", "EffectiveSan"},
+	"container-cast":        {"HexType", "EffectiveSan"},
+	"fundamental-confusion": {"libcrunch", "EffectiveSan"},
+	"implicit-memcpy-cast":  {"EffectiveSan"},
+	// Bounds column.
+	"object-overflow": {"BaggyBounds", "LowFat", "Intel MPX", "SoftBound",
+		"AddressSanitizer", "SoftBound+CETS", "EffectiveSan"},
+	"redzone-skip": {"BaggyBounds", "LowFat", "Intel MPX", "SoftBound",
+		"SoftBound+CETS", "EffectiveSan"},
+	"subobject-overflow": {"Intel MPX", "SoftBound", "SoftBound+CETS", "EffectiveSan"},
+	// UAF column.
+	"use-after-free":            {"CETS", "AddressSanitizer", "SoftBound+CETS", "EffectiveSan"},
+	"reuse-after-free-difftype": {"CETS", "SoftBound+CETS", "EffectiveSan"},
+	"reuse-after-free-sametype": {"CETS", "SoftBound+CETS"},
+}
+
+func detects(t *testing.T, tool *Tool, c *bugsuite.Case) bool {
+	t.Helper()
+	prog, err := c.Program()
+	if err != nil {
+		t.Fatalf("%s: compile: %v", c.Name, err)
+	}
+	res, err := tool.Exec(prog, "main", io.Discard)
+	if err != nil {
+		t.Fatalf("%s under %s: %v", c.Name, tool.Name, err)
+	}
+	return res.Reporter.Total() > 0
+}
+
+// TestFig1CapabilityMatrix executes every corpus case under every tool
+// and checks detection against the ground truth — reproducing the shape
+// of the paper's Fig. 1.
+func TestFig1CapabilityMatrix(t *testing.T) {
+	tools := All()
+	for _, c := range bugsuite.Cases() {
+		c := c
+		if c.Class == bugsuite.Extra {
+			continue
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			want := map[string]bool{}
+			for _, name := range expectedDetectors[c.Name] {
+				want[name] = true
+			}
+			for _, tool := range tools {
+				got := detects(t, tool, &c)
+				if c.Class == bugsuite.Clean {
+					if got {
+						t.Errorf("%s: FALSE POSITIVE on clean case", tool.Name)
+					}
+					continue
+				}
+				if got != want[tool.Name] {
+					t.Errorf("%s: detected=%v, want %v", tool.Name, got, want[tool.Name])
+				}
+			}
+		})
+	}
+}
+
+// TestEffVariantsOnCorpus checks the reduced-instrumentation variants'
+// coverage (§6.2): bounds-only finds the spatial bugs but not pure type
+// confusion; type-only finds explicit-cast confusion but no bounds or
+// temporal errors.
+func TestEffVariantsOnCorpus(t *testing.T) {
+	boundsWant := map[string]bool{
+		"object-overflow": true, "redzone-skip": true,
+		// Sub-object overflows need type-derived bounds: missed.
+		"subobject-overflow": false,
+		// Pure type confusion without spatial violation: missed.
+		"struct-cast": false, "container-cast": false,
+		"implicit-memcpy-cast": false, "bad-downcast": false,
+	}
+	typeWant := map[string]bool{
+		// Explicit casts: caught.
+		"struct-cast": true, "container-cast": true, "bad-downcast": true,
+		"fundamental-confusion": true,
+		// No cast site: missed.
+		"implicit-memcpy-cast": false,
+		// No bounds machinery at all.
+		"object-overflow": false, "subobject-overflow": false, "redzone-skip": false,
+	}
+	for _, c := range bugsuite.Cases() {
+		c := c
+		if want, ok := boundsWant[c.Name]; ok {
+			if got := detects(t, ToolEffBounds, &c); got != want {
+				t.Errorf("bounds-only on %s: detected=%v, want %v", c.Name, got, want)
+			}
+		}
+		if want, ok := typeWant[c.Name]; ok {
+			if got := detects(t, ToolEffType, &c); got != want {
+				t.Errorf("type-only on %s: detected=%v, want %v", c.Name, got, want)
+			}
+		}
+		if c.Class == bugsuite.Clean {
+			if detects(t, ToolEffBounds, &c) || detects(t, ToolEffType, &c) {
+				t.Errorf("variant false positive on %s", c.Name)
+			}
+		}
+	}
+}
+
+// TestDoubleFreeCaught: the allocator-level double-free detection (every
+// modelled tool's allocator aborts on double free; kept out of the
+// matrix).
+func TestDoubleFreeCaught(t *testing.T) {
+	c := bugsuite.ByName("double-free")
+	for _, tool := range []*Tool{ToolEffectiveSan, {Name: "AddressSanitizer",
+		MakeSan: func() Sanitizer { return NewASan() }}} {
+		if !detects(t, tool, c) {
+			t.Errorf("%s missed the double free", tool.Name)
+		}
+	}
+}
+
+// TestUninstrumentedRunsCorpus: every case (buggy or not) must execute to
+// completion without simulator errors under the plain environment — the
+// bugs are logical, not crashes.
+func TestUninstrumentedRunsCorpus(t *testing.T) {
+	for _, c := range bugsuite.Cases() {
+		prog, err := c.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if _, err := ToolUninstrumented.Exec(prog, "main", io.Discard); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package sanitizers
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ctypes"
+	"repro/internal/lowfat"
+)
+
+// ASan models AddressSanitizer (Serebryany et al., 2012): poisoned
+// redzones around every heap object, shadow state distinguishing
+// allocated / freed / redzone bytes, and a quarantine delaying reuse.
+//
+// Detection profile (Fig. 1: Bounds Partial†, UAF Partial‡):
+//   - contiguous overflows land in a redzone and are caught;
+//   - overflows that skip past the redzone into another live object are
+//     MISSED (the documented limitation);
+//   - sub-object overflows stay inside the allocation and are MISSED;
+//   - use-after-free is caught while the memory is poisoned/quarantined;
+//     reuse-after-free after quarantine eviction is missed.
+type ASan struct {
+	*base
+	redzone uint64
+}
+
+// NewASan returns an AddressSanitizer model with 16-byte redzones and a
+// 1 MiB quarantine.
+func NewASan() *ASan {
+	return &ASan{base: newBase("AddressSanitizer", 1<<20), redzone: 16}
+}
+
+// Malloc surrounds the object with redzones inside the slot.
+func (a *ASan) Malloc(t *ctypes.Type, size uint64, _ core.AllocKind, site string) uint64 {
+	slot, err := a.heap.Alloc(size + 2*a.redzone)
+	if err != nil {
+		panic(fmt.Sprintf("asan: %s: %v", site, err))
+	}
+	p := slot + a.redzone
+	a.record(p, size, t)
+	return p
+}
+
+// Free poisons the object; the base quarantine delays reuse.
+func (a *ASan) Free(p uint64, site string) {
+	if p == 0 {
+		return
+	}
+	rec := a.lookup(p)
+	if rec == nil {
+		return
+	}
+	if rec.freed {
+		a.rep.Report(core.DoubleFree, "", "heap object", 0, site)
+		return
+	}
+	rec.freed = true
+	_ = a.heap.Free(lowfat.Base(p))
+}
+
+// Access checks the shadow state of the accessed bytes.
+func (a *ASan) Access(p uint64, size uint64, write bool, static *ctypes.Type, site string) {
+	rec := a.lookup(p)
+	if rec == nil {
+		return // legacy or global: unpoisoned shadow
+	}
+	if rec.freed {
+		a.rep.Report(core.UseAfterFree, typeName(static), "heap object", 0, site)
+		return
+	}
+	if p < rec.lo || p+size > rec.hi {
+		// Inside the slot but outside the object: a redzone hit.
+		a.rep.Report(core.BoundsError, typeName(static), "heap object redzone",
+			int64(p)-int64(rec.lo), site)
+	}
+	// Far overflows resolve to a different slot whose record covers the
+	// address: silently missed, as with real redzone skipping.
+}
+
+// LowFatSan models the LowFat bounds sanitizer (Duck & Yap 2016/2017):
+// allocation-size-granular bounds recomputed from the pointer itself at
+// pointer arithmetic and access time. Fig. 1: Bounds Partial† (allocation
+// bounds only: slot-padding and sub-object overflows are missed).
+type LowFatSan struct {
+	*base
+}
+
+// NewLowFatSan returns a LowFat model.
+func NewLowFatSan() *LowFatSan { return &LowFatSan{newBase("LowFat", 0)} }
+
+// Derive checks that pointer arithmetic stays within the source
+// allocation (low-fat pointers check escapes of derived pointers).
+func (l *LowFatSan) Derive(newPtr, basePtr uint64, field bool, lo, hi uint64, site string) {
+	if !lowfat.IsLowFat(basePtr) {
+		return
+	}
+	slotLo := lowfat.Base(basePtr)
+	slotHi := slotLo + lowfat.Size(basePtr)
+	if newPtr < slotLo || newPtr > slotHi {
+		l.rep.Report(core.BoundsError, "derived pointer", "allocation", 0, site)
+	}
+}
+
+// Access checks the access against the pointer's own allocation slot.
+func (l *LowFatSan) Access(p uint64, size uint64, write bool, static *ctypes.Type, site string) {
+	if !lowfat.IsLowFat(p) {
+		return
+	}
+	slotLo := lowfat.Base(p)
+	slotHi := slotLo + lowfat.Size(p)
+	if p+size > slotHi {
+		l.rep.Report(core.BoundsError, typeName(static), "allocation", int64(p-slotLo), site)
+	}
+}
+
+// Baggy models BaggyBounds (Akritidis et al., 2009): bounds padded to the
+// next power of two, kept in a bounds table indexed by address. Our size
+// classes are exactly powers of two, so the padded bounds coincide with
+// the slot; like LowFat it checks derived pointers, not access extents.
+// Fig. 1: Bounds Partial†.
+type Baggy struct {
+	*base
+}
+
+// NewBaggy returns a BaggyBounds model.
+func NewBaggy() *Baggy { return &Baggy{newBase("BaggyBounds", 0)} }
+
+// Derive checks pointer arithmetic against the padded allocation bounds,
+// allowing the one-past slack baggy bounds permit.
+func (b *Baggy) Derive(newPtr, basePtr uint64, field bool, lo, hi uint64, site string) {
+	if !lowfat.IsLowFat(basePtr) {
+		return
+	}
+	slotLo := lowfat.Base(basePtr)
+	slotHi := slotLo + lowfat.Size(basePtr)
+	if newPtr < slotLo || newPtr > slotHi {
+		b.rep.Report(core.BoundsError, "derived pointer", "padded allocation", 0, site)
+	}
+}
+
+// softBoundState is the pointer-metadata machinery shared by SoftBound
+// and the Intel MPX model: bounds associated with pointer values,
+// narrowed at field selection, and propagated through memory via a
+// shadow map keyed by the stored-at address.
+type softBoundState struct {
+	mu        sync.Mutex
+	ptrB      map[uint64]core.Bounds // pointer value -> bounds
+	shadow    map[uint64]core.Bounds // memory address -> stored pointer's bounds
+	narrowing bool
+}
+
+func (s *softBoundState) setPtr(val uint64, b core.Bounds) {
+	s.mu.Lock()
+	s.ptrB[val] = b
+	s.mu.Unlock()
+}
+
+func (s *softBoundState) getPtr(val uint64) (core.Bounds, bool) {
+	s.mu.Lock()
+	b, ok := s.ptrB[val]
+	s.mu.Unlock()
+	return b, ok
+}
+
+// SoftBound models SoftBound (Nagarakatte et al., 2009): disjoint
+// per-pointer bounds metadata propagated through assignments, calls and
+// memory, with static-type bounds narrowing at field accesses. Fig. 1:
+// Bounds ✓ (including sub-object overflows); no temporal protection.
+//
+// The model keys metadata by pointer value — the closest equivalent of
+// per-register metadata available to a runtime-interception model; the
+// thread-safety caveats of the real shadow scheme (§2.1, [31]) apply in
+// amplified form.
+type SoftBound struct {
+	*base
+	sb softBoundState
+}
+
+// NewSoftBound returns a SoftBound model with bounds narrowing.
+func NewSoftBound() *SoftBound {
+	return &SoftBound{
+		base: newBase("SoftBound", 0),
+		sb:   softBoundState{ptrB: map[uint64]core.Bounds{}, shadow: map[uint64]core.Bounds{}, narrowing: true},
+	}
+}
+
+// NewMPX returns an Intel MPX model: the same per-pointer bounds and
+// narrowing discipline as SoftBound (bnd registers + bounds directory).
+func NewMPX() *SoftBound {
+	s := NewSoftBound()
+	s.base.name = "Intel MPX"
+	return s
+}
+
+// Malloc binds fresh allocation bounds to the returned pointer.
+func (s *SoftBound) Malloc(t *ctypes.Type, size uint64, kind core.AllocKind, site string) uint64 {
+	p := s.base.Malloc(t, size, kind, site)
+	s.sb.setPtr(p, core.Bounds{Lo: p, Hi: p + size})
+	return p
+}
+
+// Derive propagates bounds to derived pointers, narrowing at field
+// selection. Fields at offset zero are propagated without narrowing: the
+// value-keyed model cannot tell &s apart from &s.first (they are the same
+// address), whereas the real SoftBound keeps per-register metadata — a
+// fidelity limit of the runtime-interception model, noted in DESIGN.md.
+func (s *SoftBound) Derive(newPtr, basePtr uint64, field bool, lo, hi uint64, site string) {
+	b, ok := s.sb.getPtr(basePtr)
+	if !ok {
+		b = core.Wide
+	}
+	if field && s.sb.narrowing && hi > lo && newPtr != basePtr {
+		b = b.Intersect(core.Bounds{Lo: lo, Hi: hi})
+	}
+	s.sb.setPtr(newPtr, b)
+}
+
+// PtrStore propagates a stored pointer's bounds into the shadow space.
+func (s *SoftBound) PtrStore(addr, val uint64, site string) {
+	b, ok := s.sb.getPtr(val)
+	if !ok {
+		b = core.Wide
+	}
+	s.sb.mu.Lock()
+	s.sb.shadow[addr] = b
+	s.sb.mu.Unlock()
+}
+
+// PtrLoad recovers bounds for a loaded pointer from the shadow space.
+func (s *SoftBound) PtrLoad(addr, val uint64, site string) {
+	s.sb.mu.Lock()
+	b, ok := s.sb.shadow[addr]
+	s.sb.mu.Unlock()
+	if !ok {
+		b = core.Wide
+	}
+	s.sb.setPtr(val, b)
+}
+
+// Access checks the access against the pointer's tracked bounds.
+func (s *SoftBound) Access(p uint64, size uint64, write bool, static *ctypes.Type, site string) {
+	b, ok := s.sb.getPtr(p)
+	if !ok {
+		return
+	}
+	if !b.Contains(p, size) {
+		s.rep.Report(core.BoundsError, typeName(static), "tracked bounds", 0, site)
+	}
+}
+
+func typeName(t *ctypes.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return t.String()
+}

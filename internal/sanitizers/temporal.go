@@ -1,0 +1,176 @@
+package sanitizers
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ctypes"
+	"repro/internal/lowfat"
+)
+
+// cetsMeta is the (key, lock-address) pair CETS attaches to a pointer:
+// the allocation key issued at malloc time and the address of the lock to
+// compare it against. The lock address travels WITH the pointer — a
+// spatially wild pointer still checks its own lock, which is why real
+// CETS detects only temporal errors, never spatial ones.
+type cetsMeta struct {
+	key  uint64
+	lock uint64 // slot base whose lock this pointer checks
+}
+
+// CETS models Compiler Enforced Temporal Safety (Nagarakatte et al.,
+// 2010): every allocation receives a unique key and a lock; pointers
+// carry (key, lock-address) metadata propagated through derivations and
+// memory, and every dereference checks *lock == key. Fig. 1: UAF ✓
+// (including reuse-after-free of any type); no spatial or type
+// protection.
+type CETS struct {
+	*base
+	mu     sync.Mutex
+	ptrs   map[uint64]cetsMeta // pointer value -> metadata
+	shadow map[uint64]cetsMeta // memory address -> stored pointer's metadata
+	locks  map[uint64]uint64   // slot base -> current live key (0 = freed)
+}
+
+// NewCETS returns a CETS model.
+func NewCETS() *CETS {
+	c := &CETS{base: newBase("CETS", 0)}
+	c.initTables()
+	return c
+}
+
+func (c *CETS) initTables() {
+	c.ptrs = map[uint64]cetsMeta{}
+	c.shadow = map[uint64]cetsMeta{}
+	c.locks = map[uint64]uint64{}
+}
+
+// Malloc issues a fresh key and lock for the allocation.
+func (c *CETS) Malloc(t *ctypes.Type, size uint64, kind core.AllocKind, site string) uint64 {
+	p := c.base.Malloc(t, size, kind, site)
+	rec := c.lookup(p)
+	sb := lowfat.Base(p)
+	c.mu.Lock()
+	c.ptrs[p] = cetsMeta{key: rec.gen, lock: sb}
+	c.locks[sb] = rec.gen
+	c.mu.Unlock()
+	return p
+}
+
+// Free invalidates the allocation's lock.
+func (c *CETS) Free(p uint64, site string) {
+	c.base.Free(p, site)
+	if p != 0 && lowfat.IsLowFat(p) {
+		c.mu.Lock()
+		c.locks[lowfat.Base(p)] = 0
+		c.mu.Unlock()
+	}
+}
+
+// Derive propagates the metadata to derived pointers.
+func (c *CETS) Derive(newPtr, basePtr uint64, field bool, lo, hi uint64, site string) {
+	c.mu.Lock()
+	if m, ok := c.ptrs[basePtr]; ok {
+		c.ptrs[newPtr] = m
+	}
+	c.mu.Unlock()
+}
+
+// PtrStore propagates metadata into the shadow space when a pointer is
+// written to memory.
+func (c *CETS) PtrStore(addr, val uint64, site string) {
+	c.mu.Lock()
+	if m, ok := c.ptrs[val]; ok {
+		c.shadow[addr] = m
+	}
+	c.mu.Unlock()
+}
+
+// PtrLoad recovers metadata for a loaded pointer.
+func (c *CETS) PtrLoad(addr, val uint64, site string) {
+	c.mu.Lock()
+	if m, ok := c.shadow[addr]; ok {
+		c.ptrs[val] = m
+	}
+	c.mu.Unlock()
+}
+
+// Access performs the lock-and-key check against the pointer's OWN lock.
+func (c *CETS) Access(p uint64, size uint64, write bool, static *ctypes.Type, site string) {
+	c.mu.Lock()
+	m, hasMeta := c.ptrs[p]
+	var lock uint64
+	if hasMeta {
+		lock = c.locks[m.lock]
+	}
+	c.mu.Unlock()
+	if !hasMeta {
+		return
+	}
+	if lock != m.key {
+		c.rep.Report(core.UseAfterFree, typeName(static), "temporal key mismatch", 0, site)
+	}
+}
+
+// SoftBoundCETS is the combined spatial+temporal configuration of Fig. 1
+// (SoftBound+CETS: Bounds ✓, UAF ✓).
+type SoftBoundCETS struct {
+	*SoftBound
+	cets *CETS
+}
+
+// NewSoftBoundCETS returns the combined model. The two components share
+// one heap (the SoftBound base); CETS piggybacks its key tables on it.
+func NewSoftBoundCETS() *SoftBoundCETS {
+	sb := NewSoftBound()
+	sb.base.name = "SoftBound+CETS"
+	cets := &CETS{base: sb.base}
+	cets.initTables()
+	return &SoftBoundCETS{SoftBound: sb, cets: cets}
+}
+
+// Malloc binds both bounds and a temporal key.
+func (s *SoftBoundCETS) Malloc(t *ctypes.Type, size uint64, kind core.AllocKind, site string) uint64 {
+	p := s.SoftBound.Malloc(t, size, kind, site)
+	rec := s.lookup(p)
+	sb := lowfat.Base(p)
+	s.cets.mu.Lock()
+	s.cets.ptrs[p] = cetsMeta{key: rec.gen, lock: sb}
+	s.cets.locks[sb] = rec.gen
+	s.cets.mu.Unlock()
+	return p
+}
+
+// Free invalidates the temporal lock.
+func (s *SoftBoundCETS) Free(p uint64, site string) {
+	s.SoftBound.Free(p, site)
+	if p != 0 && lowfat.IsLowFat(p) {
+		s.cets.mu.Lock()
+		s.cets.locks[lowfat.Base(p)] = 0
+		s.cets.mu.Unlock()
+	}
+}
+
+// Derive propagates both bounds and keys.
+func (s *SoftBoundCETS) Derive(newPtr, basePtr uint64, field bool, lo, hi uint64, site string) {
+	s.SoftBound.Derive(newPtr, basePtr, field, lo, hi, site)
+	s.cets.Derive(newPtr, basePtr, field, lo, hi, site)
+}
+
+// PtrStore propagates both metadata kinds through memory.
+func (s *SoftBoundCETS) PtrStore(addr, val uint64, site string) {
+	s.SoftBound.PtrStore(addr, val, site)
+	s.cets.PtrStore(addr, val, site)
+}
+
+// PtrLoad recovers both metadata kinds.
+func (s *SoftBoundCETS) PtrLoad(addr, val uint64, site string) {
+	s.SoftBound.PtrLoad(addr, val, site)
+	s.cets.PtrLoad(addr, val, site)
+}
+
+// Access performs the spatial then the temporal check.
+func (s *SoftBoundCETS) Access(p uint64, size uint64, write bool, static *ctypes.Type, site string) {
+	s.SoftBound.Access(p, size, write, static, site)
+	s.cets.Access(p, size, write, static, site)
+}

@@ -1,0 +1,144 @@
+package sanitizers
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/mir"
+)
+
+// Tool is one runnable sanitizer configuration: either an EffectiveSan
+// instrumentation variant or a runtime-interception baseline. Tools are
+// stateless descriptors; every Exec builds a fresh environment, so runs
+// are independent.
+type Tool struct {
+	Name string
+	// Variant is the EffectiveSan instrumentation level; baselines use
+	// instrument.None plus a sanitizer factory.
+	Variant instrument.Variant
+	// MakeSan builds the baseline sanitizer; nil for EffectiveSan
+	// variants and the uninstrumented baseline.
+	MakeSan func() Sanitizer
+	// Quarantine configures the EffectiveSan allocator's quarantine.
+	Quarantine uint64
+	// Mode selects the EffectiveSan reporter mode. The zero value is
+	// ModeLog; performance runs use ModeCount, as in the paper ("counting
+	// mode is used for measuring performance", §6).
+	Mode core.Mode
+}
+
+// Counting returns a copy of the tool with the reporter in counting mode.
+func (t *Tool) Counting() *Tool {
+	cp := *t
+	cp.Mode = core.ModeCount
+	return &cp
+}
+
+// RunResult reports one Exec.
+type RunResult struct {
+	Value    uint64
+	Reporter *core.Reporter
+	Stats    core.StatsSnapshot // EffectiveSan runtime counters (zero for baselines)
+	Elapsed  time.Duration
+	HeapPeak uint64 // peak live heap bytes
+	MemPages int64  // simulated memory materialised (bytes)
+}
+
+// Exec runs prog's entry function under the tool and returns the result.
+// The program must be uninstrumented; EffectiveSan variants instrument a
+// copy internally.
+func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint64) (*RunResult, error) {
+	res := &RunResult{}
+	var in *mir.Interp
+	var err error
+	switch {
+	case t.MakeSan != nil:
+		san := t.MakeSan()
+		res.Reporter = san.Reporter()
+		in, err = mir.New(prog, mir.Options{Env: san, Hooks: san, Out: out})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res.Value, err = in.Run(entry, args...)
+		res.Elapsed = time.Since(start)
+		if s, ok := san.(interface{ HeapStats() (uint64, int64) }); ok {
+			res.HeapPeak, res.MemPages = s.HeapStats()
+		} else if b, ok := san.(*Uninstrumented); ok {
+			st := b.heap.Stats()
+			res.HeapPeak = st.Peak
+			res.MemPages = b.heap.Mem().TouchedBytes()
+		}
+	case t.Variant == instrument.None:
+		env := mir.NewPlainEnv(nil)
+		in, err = mir.New(prog, mir.Options{Env: env, Out: out})
+		if err != nil {
+			return nil, err
+		}
+		res.Reporter = core.NewReporter(core.ModeLog, 0)
+		start := time.Now()
+		res.Value, err = in.Run(entry, args...)
+		res.Elapsed = time.Since(start)
+		res.HeapPeak = env.Heap().Stats().Peak
+		res.MemPages = env.Mem().TouchedBytes()
+	default:
+		ip, _ := instrument.Instrument(prog, instrument.Options{Variant: t.Variant})
+		rt := core.NewRuntime(core.Options{
+			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,
+		})
+		res.Reporter = rt.Reporter
+		in, err = mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt), Out: out})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res.Value, err = in.Run(entry, args...)
+		res.Elapsed = time.Since(start)
+		res.Stats = rt.Stats()
+		res.HeapPeak = rt.Heap().Stats().Peak
+		res.MemPages = rt.Mem().TouchedBytes()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// HeapStats lets baselines expose allocator statistics to Exec.
+func (b *base) HeapStats() (uint64, int64) {
+	return b.heap.Stats().Peak, b.heap.Mem().TouchedBytes()
+}
+
+// EffectiveSan variants.
+var (
+	ToolUninstrumented = &Tool{Name: "Uninstrumented", Variant: instrument.None}
+	ToolEffectiveSan   = &Tool{Name: "EffectiveSan", Variant: instrument.Full}
+	ToolEffBounds      = &Tool{Name: "EffectiveSan-bounds", Variant: instrument.BoundsOnly}
+	ToolEffType        = &Tool{Name: "EffectiveSan-type", Variant: instrument.TypeOnly}
+)
+
+// Baselines returns the modelled competing sanitizers in the row order of
+// Fig. 1.
+func Baselines() []*Tool {
+	return []*Tool{
+		{Name: "CaVer", MakeSan: func() Sanitizer { return NewCaVer() }},
+		{Name: "TypeSan", MakeSan: func() Sanitizer { return NewTypeSan() }},
+		{Name: "UBSan", MakeSan: func() Sanitizer { return NewUBSan() }},
+		{Name: "HexType", MakeSan: func() Sanitizer { return NewHexType() }},
+		{Name: "libcrunch", MakeSan: func() Sanitizer { return NewLibcrunch() }},
+		{Name: "BaggyBounds", MakeSan: func() Sanitizer { return NewBaggy() }},
+		{Name: "LowFat", MakeSan: func() Sanitizer { return NewLowFatSan() }},
+		{Name: "Intel MPX", MakeSan: func() Sanitizer { return NewMPX() }},
+		{Name: "SoftBound", MakeSan: func() Sanitizer { return NewSoftBound() }},
+		{Name: "CETS", MakeSan: func() Sanitizer { return NewCETS() }},
+		{Name: "AddressSanitizer", MakeSan: func() Sanitizer { return NewASan() }},
+		{Name: "SoftBound+CETS", MakeSan: func() Sanitizer { return NewSoftBoundCETS() }},
+	}
+}
+
+// All returns every tool: the Fig. 1 baselines followed by EffectiveSan.
+func All() []*Tool {
+	return append(Baselines(), ToolEffectiveSan)
+}

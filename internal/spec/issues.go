@@ -1,0 +1,250 @@
+// Package spec provides the 19 synthetic SPEC2006-named workloads used
+// to regenerate Figs. 7, 8 and 9.
+//
+// The real SPEC2006 suite is ~1.1M sLOC of proprietary benchmark code; in
+// its place each workload here is a mini-C program whose computational
+// kernel matches the character of the original (pointer-chasing
+// interpreter, block compressor, DP matrices, board evaluation, event
+// queues, lattice stencils, ...) and which is seeded with exactly the
+// type/memory issues the paper reports for that benchmark in Fig. 7 and
+// §6.1 — the same issue *kinds* (T*/T** confusion in perlbench,
+// shared-prefix struct abuse in perlbench/povray, int[]-hash casts in
+// gcc/sphinx3, bad downcasts in xalancbmk, sub-object padding overflow in
+// gcc, the soplex underflow, ...) in the same per-benchmark counts.
+//
+// Issues are counted the way the paper counts them: distinct (error kind,
+// static type, dynamic type, offset) buckets. Each seeded bug uses its
+// own type names, so it lands in its own bucket and the Fig. 7 column
+// reproduces exactly (asserted by the package tests).
+package spec
+
+import "fmt"
+
+// The issue-family generators below return mini-C fragments defining one
+// buggy function (plus its types) and an invocation statement. Each
+// family mirrors one §6.1 finding; the id keeps type names (and hence
+// issue buckets) distinct.
+
+// ptrConfusion models perlbench's "frequently confuses (T *) with
+// (T **)": a T** allocation used through a T*.
+func ptrConfusion(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+struct PtrBox%d { long tag%d; long aux%d; };
+long ptr_confuse_%d() {
+    struct PtrBox%d **pp = malloc(4 * sizeof(struct PtrBox%d *));
+    struct PtrBox%d *p = (struct PtrBox%d *)pp;  // T** used as T*
+    long t = p->tag%d;
+    free(pp);
+    return t;
+}`, id, id, id, id, id, id, id, id, id)
+	return decl, fmt.Sprintf("ptr_confuse_%d();", id)
+}
+
+// prefixAbuse models the perlbench/povray "ad hoc inheritance by shared
+// struct prefix" idiom: two incompatible structs with a common prefix,
+// one accessed through the other.
+func prefixAbuse(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+struct PBase%[1]d { int kind%[1]d; float weight%[1]d; };
+struct PDerived%[1]d { int kind%[1]d; float weight%[1]d; char extra%[1]d; };
+float prefix_abuse_%[1]d() {
+    struct PDerived%[1]d *d = new struct PDerived%[1]d;
+    d->weight%[1]d = 1.5;
+    struct PBase%[1]d *b = (struct PBase%[1]d *)d;   // incompatible prefix cast
+    return b->weight%[1]d;
+}`, id)
+	return decl, fmt.Sprintf("prefix_abuse_%d();", id)
+}
+
+// reuseAsDifferent models perlbench's "reusing memory (as a different
+// type) rather than explicitly freeing it": a dangling pointer sees the
+// slot recycled under another type.
+func reuseAsDifferent(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+struct ROld%d { long a%d; long b%d; };
+struct RNew%d { double x%d; double y%d; };
+struct ROld%d *rsave%d[1];
+double reuse_diff_%d() {
+    struct ROld%d *p = new struct ROld%d;
+    rsave%d[0] = p;
+    free(p);
+    struct RNew%d *q = new struct RNew%d; // recycles the slot
+    q->x%d = 2.5;
+    struct ROld%d *d = rsave%d[0];
+    return (double)d->a%d;                // stale type through dangling ptr
+}`, id, id, id, id, id, id, id, id, id, id, id, id, id, id, id, id, id, id)
+	return decl, fmt.Sprintf("reuse_diff_%d();", id)
+}
+
+// uafIssue models the perlbench use-after-free reported in [32].
+func uafIssue(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+int *usave%d[1];
+int uaf_%d() {
+    int *p = malloc(32 * sizeof(int));
+    p[0] = 1;
+    usave%d[0] = p;
+    free(p);
+    int *d = usave%d[0];
+    return d[0];
+}`, id, id, id, id)
+	return decl, fmt.Sprintf("uaf_%d();", id)
+}
+
+// intHashCast models gcc/sphinx3 "casts objects to (int[]) to calculate
+// hash values or checksums".
+func intHashCast(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+struct HRec%d { long h1%d; long h2%d; char *name%d; };
+int hash_cast_%d() {
+    struct HRec%d *r = new struct HRec%d;
+    r->h1%d = 12345;
+    int *words = (int *)r;            // struct viewed as int[]
+    int h = 0;
+    for (int i = 0; i < 6; i++) { h = h ^ words[i]; }
+    free(r);
+    return h;
+}`, id, id, id, id, id, id, id, id)
+	return decl, fmt.Sprintf("hash_cast_%d();", id)
+}
+
+// containerCast models the "casting to container types" findings
+// (stdlib++-style, also dealII/namd class casts).
+func containerCast(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+struct CInner%d { long v%d; };
+struct COuter%d { long tag%d; long load%d; };
+long container_cast_%d() {
+    struct CInner%d *in = new struct CInner%d;
+    in->v%d = 3;
+    struct COuter%d *out = (struct COuter%d *)in;
+    return out->tag%d;              // within the object: pure confusion
+}`, id, id, id, id, id, id, id, id, id, id, id, id)
+	return decl, fmt.Sprintf("container_cast_%d();", id)
+}
+
+// templateCast models xalancbmk/Firefox's casts between types equivalent
+// modulo template parameters (nsTArray<void*> vs nsTArray<T*>).
+func templateCast(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+struct TElem%d { int payload%d; };
+struct TArrImpl%d { struct TElem%d **elems%d; long len%d; };
+struct TArrVoid%d { void **elems%d; long len%d; };
+long template_cast_%d() {
+    struct TArrImpl%d *a = new struct TArrImpl%d;
+    a->len%d = 4;
+    struct TArrVoid%d *v = (struct TArrVoid%d *)a;
+    return v->len%d;
+}`, id, id, id, id, id, id, id, id, id, id, id, id, id, id, id, id)
+	return decl, fmt.Sprintf("template_cast_%d();", id)
+}
+
+// badDowncast models the two xalancbmk downcast confusions
+// (SchemaGrammar/DTDGrammar and DOMDocumentImpl/DOMElementImpl).
+func badDowncast(id int, base, good, bad string) (decl, call string) {
+	decl = fmt.Sprintf(`
+class %s { int kind%d; };
+class %s : public %s { int info%d; };
+class %s : public %s { int data%d; };
+int downcast_%d() {
+    class %s *obj = new class %s;
+    class %s *b = (class %s *)obj;
+    class %s *s = (class %s *)b;   // sibling downcast
+    return s->info%d;
+}`, base, id, good, base, id, bad, base, id, id,
+		bad, bad, base, base, good, good, id)
+	return decl, fmt.Sprintf("downcast_%d();", id)
+}
+
+// paddingOverflow models gcc's rtx_const finding: "overflows the (mode)
+// field ... to access structure padding inserted by the compiler".
+func paddingOverflow(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+struct RtxConst%d { short mode%d; long val%d; };
+int padding_overflow_%d() {
+    struct RtxConst%d *r = new struct RtxConst%d;
+    short *m = &r->mode%d;
+    m[1] = 7;                      // structure padding after mode
+    return (int)m[0];
+}`, id, id, id, id, id, id, id)
+	return decl, fmt.Sprintf("padding_overflow_%d();", id)
+}
+
+// subObjectOverflow models h264ref's blc_size finding: an interior array
+// overflowing into its sibling field.
+func subObjectOverflow(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+struct InputParams%d { int flags%d; int blc_size%d[8]; int profile%d; };
+int blc_overflow_%d() {
+    struct InputParams%d *ip = new struct InputParams%d;
+    int *blc = ip->blc_size%d;
+    for (int i = 0; i <= 8; i++) { blc[i] = i; }  // i==8 hits profile
+    int v = ip->profile%d;
+    free(ip);
+    return v;
+}`, id, id, id, id, id, id, id, id, id)
+	return decl, fmt.Sprintf("blc_overflow_%d();", id)
+}
+
+// objectOverflow models h264ref's plain bounds overflow reported in [32].
+func objectOverflow(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+int obj_overflow_%d() {
+    int *frame = malloc(64 * sizeof(int));
+    int acc = 0;
+    for (int i = 0; i < 66; i++) {    // reads two past the end
+        acc += frame[i];
+    }
+    free(frame);
+    return acc;
+}`, id)
+	return decl, fmt.Sprintf("obj_overflow_%d();", id)
+}
+
+// fieldUnderflow models soplex's UnitVector finding: an intentional
+// underflow of the themem1 field relying on field adjacency.
+func fieldUnderflow(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+struct UnitVec%d { double themem0%d; double themem1%d[4]; };
+double underflow_%d() {
+    struct UnitVec%d *u = new struct UnitVec%d;
+    u->themem0%d = 4.5;
+    double *m1 = u->themem1%d;
+    return m1[0 - 1];                // reaches back into themem0
+}`, id, id, id, id, id, id, id, id)
+	return decl, fmt.Sprintf("underflow_%d();", id)
+}
+
+// fundamentalConfusion models the bzip2/lbm/milc findings: a fundamental
+// type viewed as another through a void* detour.
+func fundamentalConfusion(id int) (decl, call string) {
+	decl = fmt.Sprintf(`
+long fund_confuse_%d() {
+    double *cells = malloc(16 * sizeof(double));
+    cells[0] = 3.25;
+    void *raw = (void *)cells;
+    long *bits = (long *)raw;        // double[] viewed as long[]
+    long b = bits[0];
+    free(cells);
+    return b;
+}`, id)
+	return decl, fmt.Sprintf("fund_confuse_%d();", id)
+}
+
+// issueSet assembles fragments and invocations for a benchmark's seeded
+// issues.
+type issueSet struct {
+	decls []string
+	calls []string
+}
+
+func (s *issueSet) add(decl, call string) {
+	s.decls = append(s.decls, decl)
+	s.calls = append(s.calls, call)
+}
+
+func (s *issueSet) addN(n int, idBase int, gen func(int) (string, string)) {
+	for i := 0; i < n; i++ {
+		s.add(gen(idBase + i))
+	}
+}

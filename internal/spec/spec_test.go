@@ -1,0 +1,162 @@
+package spec
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/sanitizers"
+)
+
+// TestFig7IssueCounts is the core Fig. 7 reproduction check: under full
+// EffectiveSan instrumentation every benchmark reports exactly the
+// paper's #Issues-found (bucketed by kind/type/offset), and the clean
+// benchmarks report zero.
+func TestFig7IssueCounts(t *testing.T) {
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sanitizers.ToolEffectiveSan.Exec(prog, b.Entry, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Reporter.NumIssues(); got != b.PaperIssues {
+				t.Errorf("issues = %d, want %d (paper Fig. 7)\n%s",
+					got, b.PaperIssues, res.Reporter.Log())
+			}
+			if res.Stats.TypeChecks == 0 || res.Stats.BoundsChecks == 0 {
+				t.Errorf("no checks performed: %+v", res.Stats)
+			}
+		})
+	}
+}
+
+// TestUninstrumentedClean: every workload must run to completion without
+// simulator errors when uninstrumented (the seeded bugs are logical).
+func TestUninstrumentedClean(t *testing.T) {
+	for _, b := range Benchmarks() {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if _, err := sanitizers.ToolUninstrumented.Exec(prog, b.Entry, io.Discard); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+// TestVariantsRun: the reduced variants execute every workload without
+// error, and their check profiles are consistent (§6.2): the bounds
+// variant does bounds_gets instead of type checks; the type variant does
+// no bounds checks at all.
+func TestVariantsRun(t *testing.T) {
+	for _, b := range Benchmarks()[:4] { // a slice keeps the test fast
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		rb, err := sanitizers.ToolEffBounds.Exec(prog, b.Entry, io.Discard)
+		if err != nil {
+			t.Fatalf("%s bounds: %v", b.Name, err)
+		}
+		if rb.Stats.TypeChecks != 0 || rb.Stats.BoundsGets == 0 {
+			t.Errorf("%s bounds variant stats: %+v", b.Name, rb.Stats)
+		}
+		rt, err := sanitizers.ToolEffType.Exec(prog, b.Entry, io.Discard)
+		if err != nil {
+			t.Fatalf("%s type: %v", b.Name, err)
+		}
+		if rt.Stats.BoundsChecks != 0 || rt.Stats.BoundsNarrows != 0 {
+			t.Errorf("%s type variant stats: %+v", b.Name, rt.Stats)
+		}
+	}
+}
+
+// TestLegacyRatioLow: the fraction of type checks hitting legacy pointers
+// must be small (the paper reports ~1.1%), i.e. coverage is high.
+func TestLegacyRatioLow(t *testing.T) {
+	var legacy, total uint64
+	for _, b := range Benchmarks() {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sanitizers.ToolEffectiveSan.Exec(prog, b.Entry, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy += res.Stats.LegacyTypeChecks
+		total += res.Stats.TypeChecks
+	}
+	if total == 0 {
+		t.Fatal("no type checks at all")
+	}
+	if ratio := float64(legacy) / float64(total); ratio > 0.05 {
+		t.Errorf("legacy ratio = %.2f%%, want < 5%%", ratio*100)
+	}
+}
+
+// TestBenchmarkRoster checks the Fig. 7 roster: 19 benchmarks, the
+// paper's totals for the issue column, and the C++ subset.
+func TestBenchmarkRoster(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 19 {
+		t.Fatalf("roster has %d benchmarks, want 19", len(bs))
+	}
+	issues, cpp := 0, 0
+	for _, b := range bs {
+		issues += b.PaperIssues
+		if b.CPlusPlus {
+			cpp++
+		}
+	}
+	if issues != 124 {
+		t.Errorf("total paper issues = %d, want 124", issues)
+	}
+	if cpp != 7 {
+		t.Errorf("C++ benchmarks = %d, want 7", cpp)
+	}
+}
+
+// TestAppendixACMAEffect reproduces the rationale of the paper's
+// Appendix A: with a Perl_malloc-style CMA in place, the objects carry no
+// dynamic type, the legacy-check ratio explodes, and the seeded perlbench
+// bug classes become undetectable — which is why the paper replaces CMAs
+// with the standard allocator before the experiments.
+func TestAppendixACMAEffect(t *testing.T) {
+	cma := PerlbenchCMA()
+	prog, err := cma.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sanitizers.ToolEffectiveSan.Exec(prog, cma.Entry, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Reporter.NumIssues(); got != 0 {
+		t.Errorf("CMA variant reported %d issues; CMA storage must be untypeable\n%s",
+			got, res.Reporter.Log())
+	}
+	if ratio := res.Stats.LegacyRatio(); ratio < 0.5 {
+		t.Errorf("legacy ratio = %.2f, want > 0.5 (nearly all checks hit CMA memory)", ratio)
+	}
+
+	// The contrast: the CMA-free perlbench finds its 35 issues with a
+	// near-zero legacy ratio.
+	std := ByName("perlbench")
+	prog2, err := std.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sanitizers.ToolEffectiveSan.Exec(prog2, std.Entry, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reporter.NumIssues() != 35 || res2.Stats.LegacyRatio() > 0.05 {
+		t.Errorf("CMA-free perlbench: issues=%d legacy=%.2f, want 35 and ~0",
+			res2.Reporter.NumIssues(), res2.Stats.LegacyRatio())
+	}
+}

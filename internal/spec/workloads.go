@@ -1,0 +1,947 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/ctypes"
+	"repro/internal/mir"
+)
+
+// Benchmark is one synthetic SPEC2006-named workload.
+type Benchmark struct {
+	Name      string
+	CPlusPlus bool
+	// Paper columns from Fig. 7, for side-by-side reporting.
+	PaperKSLOC   float64
+	PaperTypeB   float64 // #Type checks, billions
+	PaperBoundsB float64 // #Bounds checks, billions
+	PaperIssues  int
+	// Source is the assembled mini-C program; Entry is its main.
+	Source string
+	Entry  string
+}
+
+// Program compiles the benchmark into a fresh program and type table.
+func (b *Benchmark) Program() (*mir.Program, error) {
+	p, err := cc.Compile(b.Source, ctypes.NewTable())
+	if err != nil {
+		return nil, fmt.Errorf("spec %s: %w", b.Name, err)
+	}
+	return p, nil
+}
+
+// assemble builds a benchmark source: type/issue declarations, the
+// kernel, and a main that runs the kernel then triggers each seeded
+// issue once.
+func assemble(kernel string, kernelCall string, issues *issueSet) string {
+	var sb strings.Builder
+	for _, d := range issues.decls {
+		sb.WriteString(d)
+		sb.WriteString("\n")
+	}
+	sb.WriteString(kernel)
+	sb.WriteString("\nint main() {\n")
+	sb.WriteString("    int r = " + kernelCall + ";\n")
+	for _, c := range issues.calls {
+		sb.WriteString("    " + c + "\n")
+	}
+	sb.WriteString("    return r;\n}\n")
+	return sb.String()
+}
+
+// Benchmarks returns the 19 workloads in Fig. 7 order. Each call builds
+// fresh sources; compile once and reuse the Program for repeated runs.
+func Benchmarks() []*Benchmark {
+	return []*Benchmark{
+		perlbench(), bzip2(), gcc(), mcf(), gobmk(), hmmer(), sjeng(),
+		libquantum(), h264ref(), omnetpp(), astar(), xalancbmk(), milc(),
+		namd(), dealII(), soplex(), povray(), lbm(), sphinx3(),
+	}
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// perlbench: a string-hash interpreter workload (pointer-heavy, like the
+// Perl interpreter). Seeded: 12 T*/T** confusions, 11 shared-prefix
+// abuses, 11 reuse-as-different-type, 1 use-after-free = 35 issues.
+func perlbench() *Benchmark {
+	kernel := `
+struct PEntry { struct PEntry *next; long key; long val; };
+struct PEntry *ptable[64];
+
+long perl_kernel(int rounds) {
+    for (int i = 0; i < 64; i++) { ptable[i] = null; }
+    long hits = 0;
+    for (int r = 0; r < rounds; r++) {
+        long key = (long)(r * 2654435761);
+        int slot = (int)(key & 63);
+        struct PEntry *e = ptable[slot];
+        int found = 0;
+        while (e != null) {
+            if (e->key == key) { e->val++; found = 1; break; }
+            e = e->next;
+        }
+        if (found == 0) {
+            struct PEntry *n = new struct PEntry;
+            n->key = key;
+            n->val = 1;
+            n->next = ptable[slot];
+            ptable[slot] = n;
+        }
+        hits += (long)found;
+    }
+    for (int i = 0; i < 64; i++) {
+        struct PEntry *e = ptable[i];
+        while (e != null) {
+            struct PEntry *n = e->next;
+            free(e);
+            e = n;
+        }
+        ptable[i] = null;
+    }
+    return hits;
+}`
+	is := &issueSet{}
+	is.addN(12, 100, ptrConfusion)
+	is.addN(11, 200, prefixAbuse)
+	is.addN(11, 300, reuseAsDifferent)
+	is.addN(1, 400, uafIssue)
+	return &Benchmark{
+		Name: "perlbench", PaperKSLOC: 126.4, PaperTypeB: 177.9,
+		PaperBoundsB: 297.7, PaperIssues: 35,
+		Source: assemble(kernel, "(int)perl_kernel(3000)", is), Entry: "main",
+	}
+}
+
+// bzip2: run-length + move-to-front compression over byte blocks.
+// Seeded: 1 fundamental-type confusion.
+func bzip2() *Benchmark {
+	kernel := `
+void bz_fill(char *block, int n, int r) {
+    for (int i = 0; i < n; i++) {
+        block[i] = (char)((i * (r + 7)) & 127);
+    }
+}
+
+int bz_rle(char *block, int n, char *out) {
+    int outlen = 0;
+    int i = 0;
+    while (i < n) {
+        char c = block[i];
+        int runlen = 1;
+        while (i + runlen < n && block[i + runlen] == c && runlen < 255) {
+            runlen++;
+        }
+        out[outlen] = c;
+        out[outlen + 1] = (char)runlen;
+        outlen += 2;
+        i += runlen;
+    }
+    return outlen;
+}
+
+int bzip_kernel(int rounds) {
+    char *block = malloc(4096);
+    char *out = malloc(8192);
+    int outlen = 0;
+    for (int r = 0; r < rounds; r++) {
+        bz_fill(block, 4096, r);
+        outlen = bz_rle(block, 4096, out);
+    }
+    free(block);
+    free(out);
+    return outlen;
+}`
+	is := &issueSet{}
+	is.addN(1, 100, fundamentalConfusion)
+	return &Benchmark{
+		Name: "bzip2", PaperKSLOC: 5.7, PaperTypeB: 70.1,
+		PaperBoundsB: 644.3, PaperIssues: 1,
+		Source: assemble(kernel, "bzip_kernel(40)", is), Entry: "main",
+	}
+}
+
+// gcc: expression-tree construction and constant folding (an AST
+// workload). Seeded: 20 int[]-hash casts, 20 container casts, 1
+// padding overflow = 41 issues.
+func gcc() *Benchmark {
+	kernel := `
+struct GNode { struct GNode *lhs; struct GNode *rhs; int op; long value; };
+
+struct GNode *g_leaf(long v) {
+    struct GNode *n = new struct GNode;
+    n->lhs = null;
+    n->rhs = null;
+    n->op = 0;
+    n->value = v;
+    return n;
+}
+
+struct GNode *g_binop(int op, struct GNode *l, struct GNode *r) {
+    struct GNode *n = new struct GNode;
+    n->lhs = l;
+    n->rhs = r;
+    n->op = op;
+    n->value = 0;
+    return n;
+}
+
+long g_fold(struct GNode *n) {
+    if (n->op == 0) { return n->value; }
+    long a = g_fold(n->lhs);
+    long b = g_fold(n->rhs);
+    if (n->op == 1) { return a + b; }
+    if (n->op == 2) { return a * b; }
+    return a - b;
+}
+
+void g_free(struct GNode *n) {
+    if (n->lhs != null) { g_free(n->lhs); }
+    if (n->rhs != null) { g_free(n->rhs); }
+    free(n);
+}
+
+long gcc_kernel(int rounds) {
+    long total = 0;
+    for (int r = 0; r < rounds; r++) {
+        struct GNode *t = g_leaf((long)r);
+        for (int d = 1; d < 40; d++) {
+            t = g_binop(1 + (d % 3), t, g_leaf((long)d));
+        }
+        total += g_fold(t);
+        g_free(t);
+    }
+    return total;
+}`
+	is := &issueSet{}
+	is.addN(20, 100, intHashCast)
+	is.addN(20, 200, containerCast)
+	is.addN(1, 300, paddingOverflow)
+	return &Benchmark{
+		Name: "gcc", PaperKSLOC: 235.8, PaperTypeB: 105.2,
+		PaperBoundsB: 204.1, PaperIssues: 41,
+		Source: assemble(kernel, "(int)gcc_kernel(600)", is), Entry: "main",
+	}
+}
+
+// mcf: arc-relaxation over a flow network (array-of-struct scans). Clean.
+func mcf() *Benchmark {
+	kernel := `
+struct Arc { int from; int to; long cost; long flow; };
+
+long mcf_relax(struct Arc *arcs, long *potential, int narcs) {
+    long improved = 0;
+    for (int i = 0; i < narcs; i++) {
+        long red = arcs[i].cost + potential[arcs[i].from] - potential[arcs[i].to];
+        if (red < 0) {
+            arcs[i].flow++;
+            potential[arcs[i].to] += red / 2;
+            improved++;
+        }
+    }
+    return improved;
+}
+
+long mcf_kernel(int rounds) {
+    int nnodes = 128;
+    int narcs = 1024;
+    struct Arc *arcs = malloc(1024 * sizeof(struct Arc));
+    long *potential = malloc(128 * sizeof(long));
+    for (int i = 0; i < narcs; i++) {
+        arcs[i].from = (i * 7) % nnodes;
+        arcs[i].to = (i * 13 + 1) % nnodes;
+        arcs[i].cost = (long)((i * 31) % 97);
+        arcs[i].flow = 0;
+    }
+    for (int i = 0; i < nnodes; i++) { potential[i] = (long)i; }
+    long improved = 0;
+    for (int r = 0; r < rounds; r++) {
+        improved += mcf_relax(arcs, potential, narcs);
+    }
+    free(arcs);
+    free(potential);
+    return improved;
+}`
+	return &Benchmark{
+		Name: "mcf", PaperKSLOC: 1.5, PaperTypeB: 34.9,
+		PaperBoundsB: 98.7, PaperIssues: 0,
+		Source: assemble(kernel, "(int)mcf_kernel(120)", &issueSet{}), Entry: "main",
+	}
+}
+
+// gobmk: board influence propagation (2D array sweeps). Clean.
+func gobmk() *Benchmark {
+	kernel := `
+void gob_sweep(int *board, int *infl) {
+    for (int y = 1; y < 18; y++) {
+        for (int x = 1; x < 18; x++) {
+            int at = y * 19 + x;
+            int v = board[at] * 4;
+            v += board[at - 1] + board[at + 1];
+            v += board[at - 19] + board[at + 19];
+            infl[at] = v;
+        }
+    }
+}
+
+int gob_score(int *infl) {
+    int score = 0;
+    for (int i = 0; i < 361; i++) { score += infl[i] & 1; }
+    return score;
+}
+
+int gob_kernel(int rounds) {
+    int *board = malloc(361 * sizeof(int));
+    int *infl = malloc(361 * sizeof(int));
+    for (int i = 0; i < 361; i++) { board[i] = (i * 17) % 3; }
+    int score = 0;
+    for (int r = 0; r < rounds; r++) {
+        gob_sweep(board, infl);
+        score += gob_score(infl);
+    }
+    free(board);
+    free(infl);
+    return score;
+}`
+	return &Benchmark{
+		Name: "gobmk", PaperKSLOC: 157.6, PaperTypeB: 90.9,
+		PaperBoundsB: 421.3, PaperIssues: 0,
+		Source: assemble(kernel, "gob_kernel(150)", &issueSet{}), Entry: "main",
+	}
+}
+
+// hmmer: profile-HMM style dynamic programming over score matrices. Clean.
+func hmmer() *Benchmark {
+	kernel := `
+int hmm_row(int *match, int *insert, int *del, int cols, int row) {
+    int best = 0;
+    int prev = 0;
+    for (int j = 1; j < cols; j++) {
+        int sc = ((row * j) % 13) - 6;
+        int m = match[j - 1] + sc;
+        if (insert[j - 1] + sc - 2 > m) { m = insert[j - 1] + sc - 2; }
+        if (del[j - 1] + sc - 3 > m) { m = del[j - 1] + sc - 3; }
+        del[j] = prev - 1;
+        insert[j] = match[j] - 1;
+        prev = match[j];
+        match[j] = m;
+        if (m > best) { best = m; }
+    }
+    return best;
+}
+
+int hmm_kernel(int rounds) {
+    int cols = 128;
+    int *match = malloc(128 * sizeof(int));
+    int *insert = malloc(128 * sizeof(int));
+    int *del = malloc(128 * sizeof(int));
+    int best = 0;
+    for (int r = 0; r < rounds; r++) {
+        for (int j = 0; j < cols; j++) { match[j] = 0; insert[j] = 0; del[j] = 0; }
+        for (int row = 0; row < 64; row++) {
+            int m = hmm_row(match, insert, del, cols, row);
+            if (m > best) { best = m; }
+        }
+    }
+    free(match);
+    free(insert);
+    free(del);
+    return best;
+}`
+	return &Benchmark{
+		Name: "hmmer", PaperKSLOC: 20.7, PaperTypeB: 22.0,
+		PaperBoundsB: 1393.4, PaperIssues: 0,
+		Source: assemble(kernel, "hmm_kernel(40)", &issueSet{}), Entry: "main",
+	}
+}
+
+// sjeng: recursive game-tree search with an evaluation array. Clean.
+func sjeng() *Benchmark {
+	kernel := `
+int s_negamax(int *pos, int depth, int idx) {
+    if (depth == 0) {
+        return pos[idx & 63] - pos[(idx * 3 + 1) & 63];
+    }
+    int best = 0 - 100000;
+    for (int m = 0; m < 4; m++) {
+        int child = idx * 5 + m + depth;
+        pos[child & 63] += m;
+        int v = 0 - s_negamax(pos, depth - 1, child);
+        pos[child & 63] -= m;
+        if (v > best) { best = v; }
+    }
+    return best;
+}
+
+int sjeng_kernel(int rounds) {
+    int *pos = malloc(64 * sizeof(int));
+    for (int i = 0; i < 64; i++) { pos[i] = (i * 37) % 19; }
+    int acc = 0;
+    for (int r = 0; r < rounds; r++) {
+        acc += s_negamax(pos, 6, r);
+    }
+    free(pos);
+    return acc;
+}`
+	return &Benchmark{
+		Name: "sjeng", PaperKSLOC: 10.5, PaperTypeB: 27.3,
+		PaperBoundsB: 478.0, PaperIssues: 0,
+		Source: assemble(kernel, "sjeng_kernel(25)", &issueSet{}), Entry: "main",
+	}
+}
+
+// libquantum: quantum register simulation (bit manipulation sweeps).
+// Clean.
+func libquantum() *Benchmark {
+	kernel := `
+struct QReg { long state; float amp; };
+
+long lq_gate(struct QReg *reg, int n, int target) {
+    long parity = 0;
+    for (int i = 0; i < n; i++) {
+        reg[i].state = reg[i].state ^ (long)(1 << target);
+        reg[i].amp = 0.0 - reg[i].amp;
+        parity += reg[i].state & 1;
+    }
+    return parity;
+}
+
+int lq_kernel(int rounds) {
+    struct QReg *reg = malloc(2048 * sizeof(struct QReg));
+    for (int i = 0; i < 2048; i++) {
+        reg[i].state = (long)i;
+        reg[i].amp = 1.0;
+    }
+    long parity = 0;
+    for (int r = 0; r < rounds; r++) {
+        parity += lq_gate(reg, 2048, r % 11);
+    }
+    free(reg);
+    return (int)(parity & 0x7fffffff);
+}`
+	return &Benchmark{
+		Name: "libquantum", PaperKSLOC: 2.6, PaperTypeB: 276.4,
+		PaperBoundsB: 561.1, PaperIssues: 0,
+		Source: assemble(kernel, "lq_kernel(60)", &issueSet{}), Entry: "main",
+	}
+}
+
+// h264ref: sum-of-absolute-differences motion search over frames.
+// Seeded: 1 object overflow, 1 sub-object (blc_size) overflow, 1
+// int[]-hash cast = 3 issues.
+func h264ref() *Benchmark {
+	kernel := `
+int h264_sad(int *cur, int *ref, int off) {
+    int sad = 0;
+    for (int i = 0; i < 256; i++) {
+        int d = cur[i] - ref[off + i];
+        if (d < 0) { d = 0 - d; }
+        sad += d;
+    }
+    return sad;
+}
+
+int h264_kernel(int rounds) {
+    int *ref = malloc(1024 * sizeof(int));
+    int *cur = malloc(256 * sizeof(int));
+    for (int i = 0; i < 1024; i++) { ref[i] = (i * 29) & 255; }
+    for (int i = 0; i < 256; i++) { cur[i] = (i * 31) & 255; }
+    int best = 1 << 30;
+    for (int r = 0; r < rounds; r++) {
+        for (int off = 0; off < 64; off++) {
+            int sad = h264_sad(cur, ref, off);
+            if (sad < best) { best = sad; }
+        }
+    }
+    free(ref);
+    free(cur);
+    return best;
+}`
+	is := &issueSet{}
+	is.addN(1, 100, objectOverflow)
+	is.addN(1, 200, subObjectOverflow)
+	is.addN(1, 300, intHashCast)
+	return &Benchmark{
+		Name: "h264ref", PaperKSLOC: 36.1, PaperTypeB: 392.5,
+		PaperBoundsB: 891.5, PaperIssues: 3,
+		Source: assemble(kernel, "h264_kernel(25)", is), Entry: "main",
+	}
+}
+
+// omnetpp: discrete event simulation with a sorted pending-event list
+// (C++-flavoured). Clean.
+func omnetpp() *Benchmark {
+	kernel := `
+struct OEvent { struct OEvent *next; long time; int kind; };
+
+long omnet_kernel(int rounds) {
+    struct OEvent *queue = null;
+    long now = 0;
+    long processed = 0;
+    long seed = 12345;
+    for (int r = 0; r < rounds; r++) {
+        for (int k = 0; k < 8; k++) {
+            seed = seed * 1103515245 + 12345;
+            struct OEvent *e = new struct OEvent;
+            e->time = now + ((seed >> 16) & 255);
+            e->kind = k;
+            if (queue == null || queue->time >= e->time) {
+                e->next = queue;
+                queue = e;
+            } else {
+                struct OEvent *it = queue;
+                while (it->next != null && it->next->time < e->time) {
+                    it = it->next;
+                }
+                e->next = it->next;
+                it->next = e;
+            }
+        }
+        for (int k = 0; k < 8 && queue != null; k++) {
+            struct OEvent *e = queue;
+            queue = e->next;
+            now = e->time;
+            processed++;
+            free(e);
+        }
+    }
+    while (queue != null) {
+        struct OEvent *e = queue;
+        queue = e->next;
+        free(e);
+    }
+    return processed;
+}`
+	return &Benchmark{
+		Name: "omnetpp", CPlusPlus: true, PaperKSLOC: 20.0, PaperTypeB: 86.5,
+		PaperBoundsB: 194.7, PaperIssues: 0,
+		Source: assemble(kernel, "(int)omnet_kernel(900)", &issueSet{}), Entry: "main",
+	}
+}
+
+// astar: grid path search with an open list. Clean.
+func astar() *Benchmark {
+	kernel := `
+int astar_search(int *cost, int *dist, int *open, int w) {
+    for (int i = 0; i < 4096; i++) { dist[i] = 1 << 28; }
+    dist[0] = 0;
+    int nopen = 1;
+    open[0] = 0;
+    while (nopen > 0) {
+        nopen--;
+        int at = open[nopen];
+        int d = dist[at];
+        int x = at % w;
+        int y = at / w;
+        if (x + 1 < w && d + cost[at + 1] < dist[at + 1]) {
+            dist[at + 1] = d + cost[at + 1];
+            open[nopen] = at + 1;
+            nopen++;
+        }
+        if (y + 1 < w && d + cost[at + w] < dist[at + w]) {
+            dist[at + w] = d + cost[at + w];
+            open[nopen] = at + w;
+            nopen++;
+        }
+    }
+    return dist[4095];
+}
+
+int astar_kernel(int rounds) {
+    int w = 64;
+    int *cost = malloc(4096 * sizeof(int));
+    int *dist = malloc(4096 * sizeof(int));
+    int *open = malloc(4096 * sizeof(int));
+    for (int i = 0; i < 4096; i++) { cost[i] = 1 + ((i * 7) % 4); }
+    int found = 0;
+    for (int r = 0; r < rounds; r++) {
+        found += astar_search(cost, dist, open, w);
+    }
+    free(cost);
+    free(dist);
+    free(open);
+    return found;
+}`
+	return &Benchmark{
+		Name: "astar", CPlusPlus: true, PaperKSLOC: 4.3, PaperTypeB: 72.5,
+		PaperBoundsB: 216.8, PaperIssues: 0,
+		Source: assemble(kernel, "astar_kernel(30)", &issueSet{}), Entry: "main",
+	}
+}
+
+// xalancbmk: DOM-tree construction and traversal with class hierarchies.
+// Seeded: 2 bad downcasts (the SchemaGrammar/DTDGrammar and
+// DOMDocumentImpl/DOMElementImpl findings) + 13 template-equivalent
+// casts = 15 issues.
+func xalancbmk() *Benchmark {
+	kernel := `
+class XNode { int tag; };
+struct XElem { struct XElem *firstChild; struct XElem *nextSibling; int tag; int depth; };
+
+struct XElem *x_build(int depth, int fanout, int tag) {
+    struct XElem *n = new struct XElem;
+    n->tag = tag;
+    n->depth = depth;
+    n->firstChild = null;
+    n->nextSibling = null;
+    if (depth > 0) {
+        struct XElem *prev = null;
+        for (int i = 0; i < fanout; i++) {
+            struct XElem *c = x_build(depth - 1, fanout, tag * 4 + i);
+            c->nextSibling = prev;
+            prev = c;
+        }
+        n->firstChild = prev;
+    }
+    return n;
+}
+
+long x_walk(struct XElem *n) {
+    long sum = (long)n->tag;
+    struct XElem *c = n->firstChild;
+    while (c != null) {
+        sum += x_walk(c);
+        c = c->nextSibling;
+    }
+    return sum;
+}
+
+void x_free(struct XElem *n) {
+    struct XElem *c = n->firstChild;
+    while (c != null) {
+        struct XElem *nx = c->nextSibling;
+        x_free(c);
+        c = nx;
+    }
+    free(n);
+}
+
+long xalan_kernel(int rounds) {
+    long total = 0;
+    for (int r = 0; r < rounds; r++) {
+        struct XElem *doc = x_build(5, 3, 1);
+        total += x_walk(doc);
+        x_free(doc);
+    }
+    return total;
+}`
+	is := &issueSet{}
+	d1, c1 := badDowncast(100, "XGrammar", "XSchemaGrammar", "XDTDGrammar")
+	is.add(d1, c1)
+	d2, c2 := badDowncast(101, "XDOMNode", "XDOMElementImpl", "XDOMDocumentImpl")
+	is.add(d2, c2)
+	is.addN(13, 200, templateCast)
+	return &Benchmark{
+		Name: "xalancbmk", CPlusPlus: true, PaperKSLOC: 267.4, PaperTypeB: 267.8,
+		PaperBoundsB: 390.6, PaperIssues: 15,
+		Source: assemble(kernel, "(int)xalan_kernel(120)", is), Entry: "main",
+	}
+}
+
+// milc: complex-number lattice arithmetic. Seeded: 1 fundamental
+// confusion.
+func milc() *Benchmark {
+	kernel := `
+struct Complex { double re; double im; };
+
+double milc_mult(struct Complex *lat, int n) {
+    double acc = 0.0;
+    for (int i = 0; i < n - 1; i++) {
+        double re = lat[i].re * lat[i + 1].re - lat[i].im * lat[i + 1].im;
+        double im = lat[i].re * lat[i + 1].im + lat[i].im * lat[i + 1].re;
+        lat[i].re = re * 0.5;
+        lat[i].im = im * 0.5;
+        acc += re;
+    }
+    return acc;
+}
+
+int milc_kernel(int rounds) {
+    struct Complex *lat = malloc(1024 * sizeof(struct Complex));
+    for (int i = 0; i < 1024; i++) {
+        lat[i].re = (double)(i % 17);
+        lat[i].im = (double)(i % 5);
+    }
+    double acc = 0.0;
+    for (int r = 0; r < rounds; r++) {
+        acc += milc_mult(lat, 1024);
+    }
+    free(lat);
+    return (int)acc;
+}`
+	is := &issueSet{}
+	is.addN(1, 100, fundamentalConfusion)
+	return &Benchmark{
+		Name: "milc", PaperKSLOC: 9.6, PaperTypeB: 29.4,
+		PaperBoundsB: 347.1, PaperIssues: 1,
+		Source: assemble(kernel, "milc_kernel(60)", is), Entry: "main",
+	}
+}
+
+// namd: particle force accumulation (C++-flavoured). Seeded: 1
+// container cast.
+func namd() *Benchmark {
+	kernel := `
+struct Atom { double x; double y; double z; double fx; double fy; double fz; };
+
+void namd_forces(struct Atom *atoms, int n) {
+    for (int i = 0; i < n - 1; i++) {
+        double dx = atoms[i].x - atoms[i + 1].x;
+        double dy = atoms[i].y - atoms[i + 1].y;
+        double dz = atoms[i].z - atoms[i + 1].z;
+        double r2 = dx * dx + dy * dy + dz * dz + 1.0;
+        double f = 1.0 / r2;
+        atoms[i].fx += dx * f;
+        atoms[i].fy += dy * f;
+        atoms[i].fz += dz * f;
+    }
+}
+
+int namd_kernel(int rounds) {
+    struct Atom *atoms = malloc(256 * sizeof(struct Atom));
+    for (int i = 0; i < 256; i++) {
+        atoms[i].x = (double)(i % 13);
+        atoms[i].y = (double)(i % 7);
+        atoms[i].z = (double)(i % 5);
+        atoms[i].fx = 0.0; atoms[i].fy = 0.0; atoms[i].fz = 0.0;
+    }
+    for (int r = 0; r < rounds; r++) {
+        namd_forces(atoms, 256);
+    }
+    double acc = 0.0;
+    for (int i = 0; i < 256; i++) { acc += atoms[i].fx; }
+    free(atoms);
+    return (int)acc;
+}`
+	is := &issueSet{}
+	is.addN(1, 100, containerCast)
+	return &Benchmark{
+		Name: "namd", CPlusPlus: true, PaperKSLOC: 3.9, PaperTypeB: 16.1,
+		PaperBoundsB: 362.6, PaperIssues: 1,
+		Source: assemble(kernel, "namd_kernel(120)", is), Entry: "main",
+	}
+}
+
+// dealII: finite-element matrix assembly (C++-flavoured). Seeded: 13
+// phantom-class / C-style casts between layout-equivalent classes.
+func dealII() *Benchmark {
+	kernel := `
+void deal_assemble(double *mass, double *stiff, int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            double v = 0.0;
+            if (i == j) { v = 4.0; }
+            if (i + 1 == j || j + 1 == i) { v = 0.0 - 1.0; }
+            mass[i * n + j] = v;
+            stiff[i * n + j] = v * 2.0;
+        }
+    }
+}
+
+double deal_apply(double *mass, double *stiff, double *sol, int n, int i) {
+    double row = 0.0;
+    for (int j = 0; j < n; j++) {
+        row += (mass[i * n + j] + stiff[i * n + j]) * sol[j];
+    }
+    return row;
+}
+
+int deal_kernel(int rounds) {
+    double *mass = malloc(1024 * sizeof(double));
+    double *stiff = malloc(1024 * sizeof(double));
+    double *sol = malloc(32 * sizeof(double));
+    for (int i = 0; i < 32; i++) { sol[i] = 1.0; }
+    double resid = 0.0;
+    for (int r = 0; r < rounds; r++) {
+        deal_assemble(mass, stiff, 32);
+        for (int i = 0; i < 32; i++) {
+            double row = deal_apply(mass, stiff, sol, 32, i);
+            sol[i] = sol[i] + row * 0.01;
+            resid += row;
+        }
+    }
+    free(mass);
+    free(stiff);
+    free(sol);
+    return (int)resid;
+}`
+	is := &issueSet{}
+	is.addN(13, 100, containerCast)
+	return &Benchmark{
+		Name: "dealII", CPlusPlus: true, PaperKSLOC: 94.4, PaperTypeB: 266.1,
+		PaperBoundsB: 701.3, PaperIssues: 13,
+		Source: assemble(kernel, "deal_kernel(40)", is), Entry: "main",
+	}
+}
+
+// soplex: simplex-style pivoting over a dense tableau (C++-flavoured).
+// Seeded: 1 sub-object underflow (the UnitVector themem1 finding).
+func soplex() *Benchmark {
+	kernel := `
+void sop_pivot(double *tab, int n, int prow, int pcol) {
+    double pivot = tab[prow * n + pcol];
+    if (pivot < 0.1 && pivot > (0.0 - 0.1)) { pivot = 1.0; }
+    for (int i = 0; i < n; i++) {
+        if (i == prow) { continue; }
+        double factor = tab[i * n + pcol] / pivot;
+        for (int j = 0; j < n; j++) {
+            tab[i * n + j] -= factor * tab[prow * n + j];
+        }
+    }
+}
+
+int soplex_kernel(int rounds) {
+    double *tab = malloc(1089 * sizeof(double));
+    int n = 33;
+    for (int i = 0; i < 1089; i++) { tab[i] = (double)((i * 7) % 11) - 5.0; }
+    double obj = 0.0;
+    for (int r = 0; r < rounds; r++) {
+        sop_pivot(tab, n, r % (n - 1) + 1, (r * 3) % (n - 1) + 1);
+        obj += tab[0];
+    }
+    free(tab);
+    return (int)obj;
+}`
+	is := &issueSet{}
+	is.addN(1, 100, fieldUnderflow)
+	return &Benchmark{
+		Name: "soplex", CPlusPlus: true, PaperKSLOC: 28.3, PaperTypeB: 80.8,
+		PaperBoundsB: 219.8, PaperIssues: 1,
+		Source: assemble(kernel, "soplex_kernel(60)", is), Entry: "main",
+	}
+}
+
+// povray: ray-sphere intersection loops (C++-flavoured). Seeded: 10
+// shared-prefix inheritance abuses (its idiosyncratic C-style object
+// hierarchy).
+func povray() *Benchmark {
+	kernel := `
+struct Sphere { double cx; double cy; double cz; double rad; };
+
+int pov_trace(struct Sphere *objs, int n, double dx, double dy, double dz) {
+    int hits = 0;
+    for (int i = 0; i < n; i++) {
+        double ocx = 0.0 - objs[i].cx;
+        double ocy = 0.0 - objs[i].cy;
+        double ocz = 0.0 - objs[i].cz;
+        double b = ocx * dx + ocy * dy + ocz * dz;
+        double c = ocx * ocx + ocy * ocy + ocz * ocz - objs[i].rad * objs[i].rad;
+        double disc = b * b - c;
+        if (disc > 0.0) { hits++; }
+    }
+    return hits;
+}
+
+int pov_kernel(int rounds) {
+    struct Sphere *objs = malloc(64 * sizeof(struct Sphere));
+    for (int i = 0; i < 64; i++) {
+        objs[i].cx = (double)(i % 9) - 4.0;
+        objs[i].cy = (double)(i % 5) - 2.0;
+        objs[i].cz = (double)(i % 7) + 3.0;
+        objs[i].rad = 1.0 + (double)(i % 3) * 0.25;
+    }
+    int hits = 0;
+    for (int r = 0; r < rounds; r++) {
+        double dx = (double)(r % 17) / 17.0 - 0.5;
+        double dy = (double)(r % 13) / 13.0 - 0.5;
+        hits += pov_trace(objs, 64, dx, dy, 1.0);
+    }
+    free(objs);
+    return hits;
+}`
+	is := &issueSet{}
+	is.addN(10, 100, prefixAbuse)
+	return &Benchmark{
+		Name: "povray", CPlusPlus: true, PaperKSLOC: 78.7, PaperTypeB: 83.2,
+		PaperBoundsB: 176.0, PaperIssues: 10,
+		Source: assemble(kernel, "pov_kernel(300)", is), Entry: "main",
+	}
+}
+
+// lbm: lattice-Boltzmann streaming over double grids. Seeded: 1
+// fundamental confusion (the finding also reported by SafeType).
+func lbm() *Benchmark {
+	kernel := `
+void lbm_stream(double *src, double *dst, int n) {
+    for (int i = 1; i < n - 1; i++) {
+        dst[i] = src[i] * 0.6 + src[i - 1] * 0.2 + src[i + 1] * 0.2;
+    }
+}
+
+int lbm_kernel(int rounds) {
+    double *src = malloc(2048 * sizeof(double));
+    double *dst = malloc(2048 * sizeof(double));
+    for (int i = 0; i < 2048; i++) { src[i] = (double)(i % 19) * 0.1; }
+    double mass = 0.0;
+    for (int r = 0; r < rounds; r++) {
+        lbm_stream(src, dst, 2048);
+        double *tmp = src;
+        src = dst;
+        dst = tmp;
+        mass += src[1024];
+    }
+    free(src);
+    free(dst);
+    return (int)mass;
+}`
+	is := &issueSet{}
+	is.addN(1, 100, fundamentalConfusion)
+	return &Benchmark{
+		Name: "lbm", PaperKSLOC: 0.9, PaperTypeB: 4.0,
+		PaperBoundsB: 333.3, PaperIssues: 1,
+		Source: assemble(kernel, "lbm_kernel(80)", is), Entry: "main",
+	}
+}
+
+// sphinx3: Gaussian mixture scoring loops. Seeded: 2 int[]-checksum
+// casts.
+func sphinx3() *Benchmark {
+	kernel := `
+float sphinx_score(float *feat, float *mean, float *varr, int g) {
+    float score = 0.0;
+    for (int d = 0; d < 32; d++) {
+        float diff = feat[g * 32 + d] - mean[g * 32 + d];
+        score -= diff * diff / varr[g * 32 + d];
+    }
+    return score;
+}
+
+int sphinx_kernel(int rounds) {
+    float *feat = malloc(512 * sizeof(float));
+    float *mean = malloc(512 * sizeof(float));
+    float *varr = malloc(512 * sizeof(float));
+    for (int i = 0; i < 512; i++) {
+        feat[i] = (float)(i % 23) * 0.5;
+        mean[i] = (float)(i % 19) * 0.5;
+        varr[i] = 1.0 + (float)(i % 7) * 0.1;
+    }
+    float best = 0.0 - 1000000.0;
+    for (int r = 0; r < rounds; r++) {
+        for (int g = 0; g < 16; g++) {
+            float score = sphinx_score(feat, mean, varr, g);
+            if (score > best) { best = score; }
+        }
+    }
+    free(feat);
+    free(mean);
+    free(varr);
+    return (int)best;
+}`
+	is := &issueSet{}
+	is.addN(2, 100, intHashCast)
+	return &Benchmark{
+		Name: "sphinx3", PaperKSLOC: 13.1, PaperTypeB: 89.4,
+		PaperBoundsB: 903.9, PaperIssues: 2,
+		Source: assemble(kernel, "sphinx_kernel(150)", is), Entry: "main",
+	}
+}
