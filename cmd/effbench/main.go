@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +20,20 @@ import (
 	"repro/internal/harness"
 )
 
+// fig8JSON is the machine-readable form of the Fig. 8 series, committed
+// as BENCH_fig8.json so successive PRs have a perf trajectory.
+type fig8JSON struct {
+	Experiment      string             `json:"experiment"`
+	Rows            []harness.Fig8Row  `json:"rows"`
+	GeomeanOverhead map[string]float64 `json:"geomean_overhead"`
+}
+
 func main() {
 	experiment := flag.String("experiment", "all",
 		"which experiment to run: fig1, fig7, fig8, fig9, fig10, tools, all")
 	repeat := flag.Int("repeat", 3, "timing repetitions (best-of) for fig8")
+	jsonPath := flag.String("json", "",
+		"also write the fig8 series as JSON to this path (requires fig8 to run)")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -45,8 +56,25 @@ func main() {
 		return err
 	})
 	run("fig8", func() error {
-		_, err := harness.Fig8(os.Stdout, *repeat)
-		return err
+		rows, err := harness.Fig8(os.Stdout, *repeat)
+		if err != nil || *jsonPath == "" {
+			return err
+		}
+		out := fig8JSON{Experiment: "fig8", Rows: rows, GeomeanOverhead: map[string]float64{}}
+		// Derive the instrumented configurations from the rows themselves,
+		// so added or renamed Fig. 8 bars flow into the JSON automatically.
+		if len(rows) > 0 {
+			for cfg := range rows[0].Seconds {
+				if cfg != "Uninstrumented" {
+					out.GeomeanOverhead[cfg] = harness.OverheadGeomean(rows, cfg)
+				}
+			}
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
 	})
 	run("fig9", func() error {
 		_, err := harness.Fig9(os.Stdout)

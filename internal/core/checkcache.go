@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/ctypes"
+	"repro/internal/layout"
+)
+
+// The §5.3 check cache. The result of a type check depends only on the
+// dynamic type t, the (normalised) offset k and the static type s — not
+// on the pointer value — so the layout-table match can be memoised: the
+// cache maps (typeID(t), k, s) to the relative-bounds Entry the layout
+// hash table produced, and TypeCheck rebuilds the absolute bounds from
+// it without re-running the Match lookup sequence. The paper performs
+// the same caching at instrumented call sites ("the result of the last
+// type check is cached and reused"); here the cache is shared by all
+// sites, which subsumes the per-site form.
+//
+// The cache is a fixed-size, direct-mapped, sharded table. Each slot is
+// an atomic.Pointer to an immutable entry, so lookups and inserts are
+// lock-free and safe under concurrent runtime use; a colliding insert
+// simply evicts the previous occupant (direct-mapped replacement).
+
+// Default geometry: 16 shards of 256 slots (4096 entries total). SPEC
+// workloads touch a few hundred distinct (t, k, s) triples, so the
+// default rarely evicts; the Options knob scales it for bigger type
+// populations.
+const (
+	checkCacheShards       = 16 // power of two
+	defaultCheckCacheSlots = 4096
+	// maxCheckCacheSlots caps the Options knob: beyond this the cache
+	// stops paying for itself and the sizing arithmetic must not be
+	// allowed to overflow.
+	maxCheckCacheSlots = 1 << 24
+)
+
+// checkKey identifies one memoised type-check query.
+type checkKey struct {
+	tid uint64       // metadata type id of the dynamic type t
+	k   int64        // offset, normalised into the layout table's domain
+	s   *ctypes.Type // static type (hash-consed: pointer identity)
+}
+
+// checkEntry is one immutable cache entry: the key plus the layout
+// match result it memoises.
+type checkEntry struct {
+	checkKey
+	e       layout.Entry
+	co      layout.Coercion
+	matched bool
+}
+
+// checkCache is the sharded memo table. A nil *checkCache (cache
+// disabled) is valid: lookups miss and stores are dropped.
+type checkCache struct {
+	shards [checkCacheShards]checkShard
+	mask   uint64 // slots-per-shard - 1
+}
+
+type checkShard struct {
+	slots []atomic.Pointer[checkEntry]
+	// Pad shards to their own cache lines so concurrent checkers on
+	// different shards do not false-share slice headers.
+	_ [64 - 24]byte
+}
+
+// newCheckCache builds a cache with at least the requested total slot
+// count (rounded up to a power of two per shard), or the default when
+// size is 0. Negative sizes disable the cache entirely (nil).
+func newCheckCache(size int) *checkCache {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = defaultCheckCacheSlots
+	}
+	if size > maxCheckCacheSlots {
+		size = maxCheckCacheSlots
+	}
+	perShard := 1
+	for perShard*checkCacheShards < size {
+		perShard <<= 1
+	}
+	c := &checkCache{mask: uint64(perShard - 1)}
+	for i := range c.shards {
+		c.shards[i].slots = make([]atomic.Pointer[checkEntry], perShard)
+	}
+	return c
+}
+
+// len returns the total slot count (0 for a disabled cache).
+func (c *checkCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return checkCacheShards * int(c.mask+1)
+}
+
+// hash mixes the key into a slot index. sid is the interned id of the
+// static type (static types are registered in the same id space as
+// dynamic types, so the triple hashes without pointer arithmetic).
+func checkHash(tid uint64, k int64, sid uint64) uint64 {
+	h := tid*0x9e3779b97f4a7c15 ^ uint64(k)*0xbf58476d1ce4e5b9 ^ sid*0x94d049bb133111eb
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
+func (c *checkCache) slot(tid uint64, k int64, sid uint64) *atomic.Pointer[checkEntry] {
+	h := checkHash(tid, k, sid)
+	sh := &c.shards[h&(checkCacheShards-1)]
+	return &sh.slots[(h>>4)&c.mask]
+}
+
+// lookup returns the memoised match result for (tid, k, s), if present.
+func (c *checkCache) lookup(tid uint64, k int64, sid uint64, s *ctypes.Type) (layout.Entry, layout.Coercion, bool, bool) {
+	if c == nil {
+		return layout.Entry{}, 0, false, false
+	}
+	e := c.slot(tid, k, sid).Load()
+	if e == nil || e.tid != tid || e.k != k || e.s != s {
+		return layout.Entry{}, 0, false, false
+	}
+	return e.e, e.co, e.matched, true
+}
+
+// store memoises a match result, evicting any colliding occupant.
+func (c *checkCache) store(tid uint64, k int64, sid uint64, s *ctypes.Type,
+	e layout.Entry, co layout.Coercion, matched bool) {
+	if c == nil {
+		return
+	}
+	c.slot(tid, k, sid).Store(&checkEntry{
+		checkKey: checkKey{tid: tid, k: k, s: s},
+		e:        e, co: co, matched: matched,
+	})
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+// TestConcurrentRuntimeStress hammers one Runtime from many goroutines
+// mixing TypeMalloc, TypeCheck and TypeFree over a shared set of types.
+// Run under -race it guards the lock-free structures on the check path:
+// the type registry (atomic snapshot slice + sync.Map), the
+// copy-on-write layout cache, and the sharded check memo cache — all of
+// which are populated concurrently by the first goroutines to touch
+// each type while later ones read them.
+func TestConcurrentRuntimeStress(t *testing.T) {
+	const (
+		workers = 16
+		rounds  = 200
+	)
+	tb := ctypes.NewTable()
+	r := NewRuntime(Options{Types: tb})
+	tb.MustParse("struct S { int a[3]; char *s; }")
+	types := []*ctypes.Type{
+		tb.MustParse("struct T { float f; struct S t; }"),
+		tb.MustParse("struct U { long n; double d[2]; }"),
+		tb.MustParse("struct V { char name[8]; void *p; }"),
+		tb.MustParse("struct W { int n; int fam[]; }"),
+	}
+	statics := []*ctypes.Type{
+		ctypes.Int, ctypes.Long, ctypes.Double, ctypes.Char,
+		tb.PointerTo(ctypes.Void), tb.PointerTo(ctypes.Char),
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rnd := uint64(seed)*0x9e3779b97f4a7c15 + 1
+			next := func(n int) int {
+				rnd ^= rnd << 13
+				rnd ^= rnd >> 7
+				rnd ^= rnd << 17
+				return int(rnd % uint64(n))
+			}
+			live := make([]uint64, 0, 8)
+			for i := 0; i < rounds; i++ {
+				T := types[next(len(types))]
+				p, err := r.TypeMalloc(T, uint64(T.Size())+uint64(next(64)), HeapAlloc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				live = append(live, p)
+				for j := 0; j < 4; j++ {
+					q := p + uint64(next(int(T.Size())+1))
+					r.TypeCheck(q, statics[next(len(statics))], "stress")
+				}
+				// Each goroutine frees only pointers it allocated, so
+				// frees race with other goroutines' checks but never
+				// double-free within one goroutine.
+				if len(live) > 4 {
+					victim := next(len(live))
+					r.TypeFree(live[victim], "stress")
+					live[victim] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			}
+			for _, p := range live {
+				r.TypeFree(p, "stress")
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := r.Stats()
+	if want := uint64(workers * rounds * 4); st.TypeChecks != want {
+		t.Fatalf("TypeChecks = %d, want %d", st.TypeChecks, want)
+	}
+	if st.HeapAllocs != workers*rounds {
+		t.Fatalf("HeapAllocs = %d, want %d", st.HeapAllocs, workers*rounds)
+	}
+	if st.Frees != workers*rounds {
+		t.Fatalf("Frees = %d, want %d", st.Frees, workers*rounds)
+	}
+	// The workload repeats (type, offset, static) triples heavily, so
+	// the shared memo cache must be seeing hits.
+	if st.CheckCacheHits == 0 {
+		t.Fatal("no check-cache hits under the stress workload")
+	}
+	if got, want := st.TypeChecks, st.CheckFastPath+st.CheckCacheHits+st.CheckCacheMisses; got < want {
+		t.Fatalf("counter bookkeeping: TypeChecks=%d < fast+hits+misses=%d", got, want)
+	}
+}
+
+// TestConcurrentLayoutCacheFirstUse races many goroutines into the
+// copy-on-write layout cache on a fresh runtime, so table construction
+// itself is contended (every goroutine may Build the same type; exactly
+// one result must win and be shared).
+func TestConcurrentLayoutCacheFirstUse(t *testing.T) {
+	tb := ctypes.NewTable()
+	r := NewRuntime(Options{Types: tb})
+	T := tb.MustParse("struct T { float f; int a[3]; }")
+	p, _ := r.NewArray(T, 8, HeapAlloc)
+
+	const workers = 32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 100; i++ {
+				r.TypeCheck(p+4, ctypes.Int, "layout-race")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if r.Reporter.Total() != 0 {
+		t.Fatalf("unexpected errors: %s", r.Reporter.Log())
+	}
+	if r.Layouts().Len() != 1 {
+		t.Fatalf("layout cache entries = %d, want 1", r.Layouts().Len())
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ctypes"
 	"repro/internal/layout"
@@ -33,6 +34,13 @@ type Options struct {
 	// Memory optionally supplies a shared address space; a fresh one is
 	// created if nil.
 	Memory *mem.Memory
+	// CheckCacheSize sizes the §5.3 type-check memoization cache (total
+	// slots, rounded up to a power of two per shard). Zero selects the
+	// default; a negative value disables the §5.3 check-caching suite
+	// entirely — the memo cache and the exact-match fast path — so every
+	// check runs the full layout-table match (the "no caching" ablation
+	// baseline).
+	CheckCacheSize int
 }
 
 // Runtime is the EffectiveSan runtime system: a low-fat allocator whose
@@ -44,12 +52,17 @@ type Runtime struct {
 	mem      *mem.Memory
 	heap     *lowfat.Allocator
 	layouts  *layout.Cache
+	memo     *checkCache // §5.3 type-check memo cache; nil when disabled
 	Reporter *Reporter
 	stats    Stats
 
-	mu     sync.RWMutex
-	idOf   map[*ctypes.Type]uint64
-	typeOf []*ctypes.Type // index = id; id 0 is invalid
+	// The metadata type registry maps interned types to ids and back.
+	// The hot path (typeByID on every check) is lock-free: ids are read
+	// from an immutable snapshot slice republished on each append, and
+	// idOf is a sync.Map (read-mostly: one insert per distinct type).
+	regMu  sync.Mutex                     // serialises registry appends
+	idOf   sync.Map                       // *ctypes.Type -> uint64
+	typeOf atomic.Pointer[[]*ctypes.Type] // index = id; id 0 is invalid
 }
 
 // NewRuntime returns a runtime over a fresh (or supplied) simulated
@@ -67,13 +80,18 @@ func NewRuntime(opts Options) *Runtime {
 		mem:      m,
 		heap:     lowfat.New(m, lowfat.Options{Quarantine: opts.Quarantine}),
 		layouts:  layout.NewCache(),
+		memo:     newCheckCache(opts.CheckCacheSize),
 		Reporter: NewReporter(opts.Mode, opts.AbortAfter),
-		idOf:     make(map[*ctypes.Type]uint64),
-		typeOf:   []*ctypes.Type{nil, ctypes.Free}, // ids 0 (invalid), 1 (FREE)
 	}
-	r.idOf[ctypes.Free] = freeTypeID
+	reg := []*ctypes.Type{nil, ctypes.Free} // ids 0 (invalid), 1 (FREE)
+	r.typeOf.Store(&reg)
+	r.idOf.Store(ctypes.Free, uint64(freeTypeID))
 	return r
 }
+
+// CheckCacheSlots returns the total slot count of the type-check memo
+// cache (0 when the cache is disabled) — for tests and benchmarks.
+func (r *Runtime) CheckCacheSlots() int { return r.memo.len() }
 
 // Mem returns the simulated memory.
 func (r *Runtime) Mem() *mem.Memory { return r.mem }
@@ -90,30 +108,30 @@ func (r *Runtime) Layouts() *layout.Cache { return r.layouts }
 
 // typeID interns t in the metadata type registry.
 func (r *Runtime) typeID(t *ctypes.Type) uint64 {
-	r.mu.RLock()
-	id, ok := r.idOf[t]
-	r.mu.RUnlock()
-	if ok {
-		return id
+	if id, ok := r.idOf.Load(t); ok {
+		return id.(uint64)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if id, ok = r.idOf[t]; ok {
-		return id
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	if id, ok := r.idOf.Load(t); ok {
+		return id.(uint64)
 	}
-	id = uint64(len(r.typeOf))
-	r.typeOf = append(r.typeOf, t)
-	r.idOf[t] = id
+	cur := *r.typeOf.Load()
+	id := uint64(len(cur))
+	next := make([]*ctypes.Type, len(cur)+1)
+	copy(next, cur)
+	next[id] = t
+	r.typeOf.Store(&next) // publish the slice before the id becomes findable
+	r.idOf.Store(t, id)
 	return id
 }
 
 func (r *Runtime) typeByID(id uint64) *ctypes.Type {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if id == 0 || id >= uint64(len(r.typeOf)) {
+	reg := *r.typeOf.Load()
+	if id == 0 || id >= uint64(len(reg)) {
 		return nil
 	}
-	return r.typeOf[id]
+	return reg[id]
 }
 
 // AllocKind tags an allocation's storage class for statistics.
@@ -232,15 +250,23 @@ func (r *Runtime) TypeRealloc(p uint64, newSize uint64, site string) (uint64, er
 // p and the allocation's base pointer and size. ok is false for legacy
 // pointers.
 func (r *Runtime) DynamicType(p uint64) (t *ctypes.Type, objBase, size uint64, ok bool) {
+	t, _, objBase, size, ok = r.dynamicType(p)
+	return t, objBase, size, ok
+}
+
+// dynamicType is DynamicType plus the raw metadata type id, which the
+// check cache uses as its key without re-interning the type.
+func (r *Runtime) dynamicType(p uint64) (t *ctypes.Type, tid, objBase, size uint64, ok bool) {
 	base := lowfat.Base(p)
 	if base == 0 {
-		return nil, 0, 0, false
+		return nil, 0, 0, 0, false
 	}
-	t = r.typeByID(r.mem.Load(base, 8))
+	tid = r.mem.Load(base, 8)
+	t = r.typeByID(tid)
 	if t == nil {
-		return nil, 0, 0, false
+		return nil, 0, 0, 0, false
 	}
-	return t, base + MetaSize, r.mem.Load(base+8, 8), true
+	return t, tid, base + MetaSize, r.mem.Load(base+8, 8), true
 }
 
 // TypeCheck verifies that p points to a (sub-)object compatible with the
@@ -257,7 +283,7 @@ func (r *Runtime) TypeCheck(p uint64, s *ctypes.Type, site string) Bounds {
 		r.stats.NullTypeChecks.Add(1)
 		return Wide
 	}
-	t, objBase, size, ok := r.DynamicType(p)
+	t, tid, objBase, size, ok := r.dynamicType(p)
 	if !ok {
 		// Legacy pointer: wide bounds for compatibility (Fig. 6 line 11).
 		r.stats.LegacyTypeChecks.Add(1)
@@ -289,10 +315,42 @@ func (r *Runtime) TypeCheck(p uint64, s *ctypes.Type, site string) Bounds {
 		return alloc
 	}
 
+	// §5.3 fast path: the dominant case is a pointer to the base of an
+	// allocation checked against its own dynamic type. The layout table
+	// maps (t, t, 0) to the unbounded containing-array entry, which clips
+	// to the allocation — so the answer is the allocation bounds, with no
+	// table lookup at all. Disabled together with the memo cache so the
+	// ablation baseline measures the unoptimised check.
+	if r.memo != nil && k == 0 && t == s {
+		r.stats.CheckFastPath.Add(1)
+		return alloc
+	}
+
 	tl := r.layouts.For(t)
-	e, co, matched := tl.Match(s, k)
+	kn := tl.Normalize(k)
+	var (
+		e       layout.Entry
+		co      layout.Coercion
+		matched bool
+	)
+	if r.memo != nil {
+		sid := r.typeID(s)
+		var hit bool
+		e, co, matched, hit = r.memo.lookup(tid, kn, sid, s)
+		if hit {
+			r.stats.CheckCacheHits.Add(1)
+		} else {
+			r.stats.CheckCacheMisses.Add(1)
+			r.stats.LayoutMatches.Add(1)
+			e, co, matched = tl.Match(s, kn)
+			r.memo.store(tid, kn, sid, s, e, co, matched)
+		}
+	} else {
+		r.stats.LayoutMatches.Add(1)
+		e, co, matched = tl.Match(s, kn)
+	}
 	if !matched {
-		r.Reporter.Report(TypeError, s.String(), t.String(), tl.Normalize(k), site)
+		r.Reporter.Report(TypeError, s.String(), t.String(), kn, site)
 		return Wide
 	}
 	switch co {

@@ -4,7 +4,8 @@ import "sync/atomic"
 
 // Stats holds the runtime's check counters, the quantities reported in
 // Fig. 7 (#Type, #Bound) and the legacy-pointer coverage ratio (§6.1).
-// All fields are updated atomically; read a consistent view via Snapshot.
+// All fields are updated atomically; read a plain-value copy via
+// Runtime.Stats, which returns a StatsSnapshot.
 type Stats struct {
 	TypeChecks       atomic.Uint64
 	NullTypeChecks   atomic.Uint64
@@ -14,6 +15,15 @@ type Stats struct {
 	BoundsNarrows    atomic.Uint64
 	CharCoercions    atomic.Uint64
 	VoidPtrCoercions atomic.Uint64
+
+	// §5.3 optimisation counters: checks resolved by the exact-match
+	// fast path, check-cache hits/misses, and the number of times the
+	// layout hash table was actually consulted (TypeChecks ≥ LayoutMatches;
+	// the gap is the work the optimisations elided).
+	CheckFastPath    atomic.Uint64
+	CheckCacheHits   atomic.Uint64
+	CheckCacheMisses atomic.Uint64
+	LayoutMatches    atomic.Uint64
 
 	HeapAllocs   atomic.Uint64
 	StackAllocs  atomic.Uint64
@@ -33,6 +43,11 @@ type StatsSnapshot struct {
 	CharCoercions    uint64
 	VoidPtrCoercions uint64
 
+	CheckFastPath    uint64
+	CheckCacheHits   uint64
+	CheckCacheMisses uint64
+	LayoutMatches    uint64
+
 	HeapAllocs   uint64
 	StackAllocs  uint64
 	GlobalAllocs uint64
@@ -51,12 +66,26 @@ func (r *Runtime) Stats() StatsSnapshot {
 		BoundsNarrows:    r.stats.BoundsNarrows.Load(),
 		CharCoercions:    r.stats.CharCoercions.Load(),
 		VoidPtrCoercions: r.stats.VoidPtrCoercions.Load(),
+		CheckFastPath:    r.stats.CheckFastPath.Load(),
+		CheckCacheHits:   r.stats.CheckCacheHits.Load(),
+		CheckCacheMisses: r.stats.CheckCacheMisses.Load(),
+		LayoutMatches:    r.stats.LayoutMatches.Load(),
 		HeapAllocs:       r.stats.HeapAllocs.Load(),
 		StackAllocs:      r.stats.StackAllocs.Load(),
 		GlobalAllocs:     r.stats.GlobalAllocs.Load(),
 		Frees:            r.stats.Frees.Load(),
 		LegacyFrees:      r.stats.LegacyFrees.Load(),
 	}
+}
+
+// CheckCacheHitRate returns the fraction of check-cache lookups that
+// hit, or 0 when the cache saw no traffic.
+func (s StatsSnapshot) CheckCacheHitRate() float64 {
+	total := s.CheckCacheHits + s.CheckCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CheckCacheHits) / float64(total)
 }
 
 // LegacyRatio returns the fraction of type checks performed on legacy

@@ -62,9 +62,14 @@ func (v Variant) String() string {
 type Options struct {
 	Variant Variant
 	// NoOptimize disables the check-elision optimisations (never-failing
-	// upcast checks, subsumed bounds checks, redundant narrowing) — for
-	// the ablation benchmarks.
+	// upcast checks, subsumed bounds checks, redundant narrowing, and
+	// type-check reuse) — the Fig. 8 "no-opt" ablation configuration.
 	NoOptimize bool
+	// NoCheckReuse disables only the per-site type-check reuse pass (a
+	// pointer whose provenance was already type-checked in the same block
+	// keeps the cached bounds instead of re-checking), leaving the other
+	// optimisations on — to isolate §5.3's redundant-check removal.
+	NoCheckReuse bool
 	// Naive replaces the input-pointer discipline with a type check
 	// before every single dereference — the strawman the schema's check
 	// minimisation is measured against (ablation only).
@@ -73,15 +78,16 @@ type Options struct {
 
 // Stats reports what the pass did.
 type Stats struct {
-	TypeChecks    int // OpTypeCheck inserted
-	BoundsGets    int // OpBoundsGet inserted
-	Narrows       int // OpBoundsNarrow inserted
-	BoundsChecks  int // OpBoundsCheck inserted
-	EscapeChecks  int // OpEscapeCheck inserted
-	ElidedUpcasts int // casts proven safe statically
-	ElidedSubsume int // bounds checks subsumed by earlier ones
-	ElidedNarrows int // redundant narrowing operations removed
-	ElidedUnused  int // input checks skipped on never-used pointers
+	TypeChecks     int // OpTypeCheck inserted
+	BoundsGets     int // OpBoundsGet inserted
+	Narrows        int // OpBoundsNarrow inserted
+	BoundsChecks   int // OpBoundsCheck inserted
+	EscapeChecks   int // OpEscapeCheck inserted
+	ElidedUpcasts  int // casts proven safe statically
+	ElidedSubsume  int // bounds checks subsumed by earlier ones
+	ElidedNarrows  int // redundant narrowing operations removed
+	ElidedUnused   int // input checks skipped on never-used pointers
+	ElidedRechecks int // type checks reusing an earlier check's bounds
 }
 
 // Instrument returns an instrumented deep copy of p; the input program is
@@ -131,7 +137,7 @@ func instrumentFunc(p *mir.Program, f *mir.Func, opts Options, st *Stats) {
 	}
 	if !opts.NoOptimize {
 		for _, b := range f.Blocks {
-			b.Instrs = elideSubsumed(b.Instrs, st)
+			b.Instrs = elideSubsumed(b.Instrs, st, !opts.NoCheckReuse)
 		}
 	}
 }
@@ -307,20 +313,49 @@ func safeUpcast(from, to *ctypes.Type) bool {
 	return from.IsRecord() && from.HasBase(to)
 }
 
-// elideSubsumed removes bounds checks that are subsumed by an earlier
-// check of the same register with at least the same size, and redundant
-// consecutive narrowing operations, within one basic block (§6's
-// "removing subsumed bounds checks" and "removing redundant bounds
-// narrowing operations").
-func elideSubsumed(instrs []mir.Instr, st *Stats) []mir.Instr {
+// elideSubsumed removes, within one basic block:
+//
+//   - bounds checks subsumed by an earlier check of the same register
+//     with at least the same size (§6's "removing subsumed bounds
+//     checks");
+//   - redundant consecutive narrowing operations (§6's "removing
+//     redundant bounds narrowing operations");
+//   - when reuseChecks is set, type checks of a register whose
+//     provenance was already type-checked against the same static type
+//     earlier in the block: the bounds register file still holds that
+//     check's result (the interpreter propagates it through mov and
+//     cast), so re-running type_check would recompute the same bounds
+//     (§5.3's redundant-check removal).
+//
+// Type-check reuse must not survive operations that can rebind an
+// object's metadata: free, realloc and calls (which may free) clear the
+// reuse state, so a use-after-free between two checks of the same
+// pointer is still re-checked and reported.
+func elideSubsumed(instrs []mir.Instr, st *Stats, reuseChecks bool) []mir.Instr {
 	type checked struct {
 		size int64
 	}
-	checkedBy := map[int]checked{} // reg -> biggest static size checked
-	lastNarrow := map[int]int64{}  // reg -> last narrow extent
+	checkedBy := map[int]checked{}     // reg -> biggest static size checked
+	lastNarrow := map[int]int64{}      // reg -> last narrow extent
+	lastType := map[int]*ctypes.Type{} // reg -> static type it was checked against
 	invalidate := func(reg int) {
 		delete(checkedBy, reg)
 		delete(lastNarrow, reg)
+		delete(lastType, reg)
+	}
+	// propagate carries the check state from src to dst when the value
+	// and its bounds register both copy (mov, pointer-identity cast).
+	propagate := func(dst, src int) {
+		invalidate(dst)
+		if c, ok := checkedBy[src]; ok {
+			checkedBy[dst] = c
+		}
+		if n, ok := lastNarrow[src]; ok {
+			lastNarrow[dst] = n
+		}
+		if t, ok := lastType[src]; ok {
+			lastType[dst] = t
+		}
 	}
 	var out []mir.Instr
 	for _, ins := range instrs {
@@ -340,10 +375,41 @@ func elideSubsumed(instrs []mir.Instr, st *Stats) []mir.Instr {
 			}
 			lastNarrow[ins.A] = ins.Aux
 			delete(checkedBy, ins.A) // narrower bounds: recheck
-		case mir.OpTypeCheck, mir.OpBoundsGet:
+			delete(lastType, ins.A)  // narrowed bounds differ from a fresh check's
+		case mir.OpTypeCheck:
+			if reuseChecks {
+				if t, ok := lastType[ins.A]; ok && t == ins.Type {
+					st.ElidedRechecks++
+					continue
+				}
+			}
 			invalidate(ins.A)
+			if reuseChecks {
+				lastType[ins.A] = ins.Type
+			}
+		case mir.OpBoundsGet:
+			invalidate(ins.A)
+		case mir.OpMov:
+			propagate(ins.Dst, ins.A)
+		case mir.OpCast:
+			if ins.Type.Kind == ctypes.KindPointer && ins.CastFrom != nil &&
+				ins.CastFrom.Kind == ctypes.KindPointer && ins.CastFrom.Elem == ins.Type.Elem {
+				propagate(ins.Dst, ins.A)
+			} else {
+				invalidate(ins.Dst)
+			}
+		case mir.OpFree, mir.OpRealloc, mir.OpCall:
+			// Deallocation (or a call that may deallocate) can rebind
+			// metadata to FREE: forget every remembered type check.
+			clear(lastType)
+			_, defs := ins.Regs()
+			for _, d := range defs {
+				if d >= 0 {
+					invalidate(d)
+				}
+			}
 		default:
-			_, defs := instrDefs(&ins)
+			_, defs := ins.Regs()
 			for _, d := range defs {
 				if d >= 0 {
 					invalidate(d)
@@ -353,25 +419,6 @@ func elideSubsumed(instrs []mir.Instr, st *Stats) []mir.Instr {
 		out = append(out, ins)
 	}
 	return out
-}
-
-// instrDefs mirrors Instr.regs but is local to avoid exporting it from
-// mir: it returns the registers an instruction reads and writes.
-func instrDefs(ins *mir.Instr) (uses []int, defs []int) {
-	switch ins.Op {
-	case mir.OpConst, mir.OpGlobal, mir.OpAlloca:
-		return nil, []int{ins.Dst}
-	case mir.OpMov, mir.OpNot, mir.OpCast, mir.OpLoad, mir.OpField, mir.OpMalloc:
-		return []int{ins.A}, []int{ins.Dst}
-	case mir.OpBin, mir.OpCmp, mir.OpIndex, mir.OpRealloc:
-		return []int{ins.A, ins.B}, []int{ins.Dst}
-	case mir.OpCall:
-		if ins.Dst != -1 {
-			return ins.Args, []int{ins.Dst}
-		}
-		return ins.Args, nil
-	}
-	return nil, nil
 }
 
 // usedPointers computes the set of registers that are used as pointers —

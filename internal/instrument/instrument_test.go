@@ -440,3 +440,123 @@ func TestBoundsVariantSkipsNarrowing(t *testing.T) {
 		t.Fatal("bounds variant must still bounds-check uses")
 	}
 }
+
+func TestRedundantTypeCheckReuse(t *testing.T) {
+	// Naive mode type-checks before every dereference; two loads through
+	// the same unmodified pointer in one block make the second check
+	// redundant — its provenance was checked instructions earlier and
+	// the bounds register still holds the result.
+	tb := ctypes.NewTable()
+	p := mir.NewProgram(tb)
+	b := mir.NewFunc(p, "main", ctypes.Int)
+	arr := b.MallocN(ctypes.Long, 4)
+	v1 := b.Load(ctypes.Long, arr)
+	v2 := b.Load(ctypes.Long, arr)
+	s := b.Bin(mir.BinAdd, ctypes.Long, v1, v2)
+	b.Ret(b.Cast(ctypes.Int, ctypes.Long, s))
+
+	_, st := Instrument(p, Options{Variant: Full, Naive: true})
+	if st.ElidedRechecks != 1 {
+		t.Fatalf("rechecks elided = %d, want 1", st.ElidedRechecks)
+	}
+	_, stOff := Instrument(p, Options{Variant: Full, Naive: true, NoCheckReuse: true})
+	if stOff.ElidedRechecks != 0 {
+		t.Fatal("NoCheckReuse must keep redundant type checks")
+	}
+	_, stNoOpt := Instrument(p, Options{Variant: Full, Naive: true, NoOptimize: true})
+	if stNoOpt.ElidedRechecks != 0 {
+		t.Fatal("NoOptimize must keep redundant type checks")
+	}
+}
+
+func TestTypeCheckReuseThroughMov(t *testing.T) {
+	// Provenance flows through mov: the copy inherits the original's
+	// bounds register, so re-checking the copy against the same static
+	// type is redundant.
+	tb := ctypes.NewTable()
+	p := mir.NewProgram(tb)
+	b := mir.NewFunc(p, "main", ctypes.Long)
+	arr := b.MallocN(ctypes.Long, 4)
+	v1 := b.Load(ctypes.Long, arr)
+	cp := b.Mov(arr)
+	v2 := b.Load(ctypes.Long, cp)
+	b.Ret(b.Bin(mir.BinAdd, ctypes.Long, v1, v2))
+
+	_, st := Instrument(p, Options{Variant: Full, Naive: true})
+	if st.ElidedRechecks != 1 {
+		t.Fatalf("rechecks elided through mov = %d, want 1", st.ElidedRechecks)
+	}
+}
+
+func TestTypeCheckReuseBarrierOnFree(t *testing.T) {
+	// free can rebind the object's metadata to FREE: a type check after
+	// an intervening free must NOT be elided, or the use-after-free
+	// would go undetected.
+	tb := ctypes.NewTable()
+	p := mir.NewProgram(tb)
+	b := mir.NewFunc(p, "main", ctypes.Long)
+	arr := b.MallocN(ctypes.Long, 4)
+	v1 := b.Load(ctypes.Long, arr)
+	b.Free(arr)
+	v2 := b.Load(ctypes.Long, arr) // use after free
+	b.Ret(b.Bin(mir.BinAdd, ctypes.Long, v1, v2))
+
+	ip, st := Instrument(p, Options{Variant: Full, Naive: true})
+	if st.ElidedRechecks != 0 {
+		t.Fatalf("rechecks elided across free = %d, want 0", st.ElidedRechecks)
+	}
+	rt := core.NewRuntime(core.Options{Types: tb})
+	in, err := mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if kinds := rt.Reporter.IssuesByKind(); kinds[core.UseAfterFree] == 0 {
+		t.Fatalf("use-after-free undetected with check reuse on: %v", kinds)
+	}
+}
+
+func TestTypeCheckReuseDetectionParity(t *testing.T) {
+	// The reuse pass is performance-only: a program with real errors
+	// must report the same issue kinds with and without it.
+	tb := ctypes.NewTable()
+	node := tb.MustParse("struct node2 { struct node2 *next; int v; }")
+	p := mir.NewProgram(tb)
+	b := mir.NewFunc(p, "main", ctypes.Int)
+	obj := b.MallocN(node, 1)
+	fPtr := tb.PointerTo(ctypes.Float)
+	nPtr := tb.PointerTo(node)
+	bad := b.Cast(fPtr, nPtr, obj) // type confusion
+	v := b.Load(ctypes.Float, bad)
+	v2 := b.Load(ctypes.Float, bad) // second confused load, same block
+	_ = v2
+	b.Ret(b.Cast(ctypes.Int, ctypes.Float, v))
+
+	run := func(opts Options) map[core.ErrorKind]int {
+		ip, _ := Instrument(p, opts)
+		rt := core.NewRuntime(core.Options{Types: tb})
+		in, err := mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Run("main"); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Reporter.IssuesByKind()
+	}
+	withReuse := run(Options{Variant: Full, Naive: true})
+	without := run(Options{Variant: Full, Naive: true, NoCheckReuse: true})
+	if withReuse[core.TypeError] == 0 {
+		t.Fatal("type confusion undetected with reuse on")
+	}
+	if len(withReuse) != len(without) {
+		t.Fatalf("issue kinds diverge: %v vs %v", withReuse, without)
+	}
+	for k := range withReuse {
+		if without[k] == 0 {
+			t.Fatalf("issue kind %v missing without reuse", k)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package layout
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ctypes"
 )
@@ -157,15 +158,22 @@ func (tl *TypeLayout) Match(s *ctypes.Type, k int64) (Entry, Coercion, bool) {
 }
 
 // Cache builds and memoises TypeLayouts. It is safe for concurrent use:
-// the runtime consults it on every type check.
+// the runtime consults it on every type check, so the read path must not
+// serialise checkers. Reads go through an atomic pointer to an immutable
+// map; writers copy the map, insert, and republish (copy-on-write). The
+// type population is small and stops growing quickly, so writes are rare
+// and the read path is a single atomic load plus a map lookup.
 type Cache struct {
-	mu sync.RWMutex
-	m  map[*ctypes.Type]*TypeLayout
+	m  atomic.Pointer[map[*ctypes.Type]*TypeLayout]
+	mu sync.Mutex // serialises writers only; readers never take it
 }
 
 // NewCache returns an empty layout cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[*ctypes.Type]*TypeLayout)}
+	c := &Cache{}
+	m := make(map[*ctypes.Type]*TypeLayout)
+	c.m.Store(&m)
+	return c
 }
 
 // For returns the layout hash table for element type t, building it on
@@ -173,22 +181,29 @@ func NewCache() *Cache {
 // symbol per type per module; building lazily at runtime is equivalent
 // because the tables are pure functions of the type.
 func (c *Cache) For(t *ctypes.Type) *TypeLayout {
-	c.mu.RLock()
-	tl := c.m[t]
-	c.mu.RUnlock()
-	if tl != nil {
+	if tl := (*c.m.Load())[t]; tl != nil {
 		return tl
 	}
-	tl = Build(t)
+	tl := Build(t)
 	c.mu.Lock()
-	if prev, ok := c.m[t]; ok {
-		tl = prev
-	} else {
-		c.m[t] = tl
+	defer c.mu.Unlock()
+	cur := *c.m.Load()
+	if prev, ok := cur[t]; ok {
+		// A concurrent checker built the same table first; keep its copy
+		// so every caller sees one canonical *TypeLayout per type.
+		return prev
 	}
-	c.mu.Unlock()
+	next := make(map[*ctypes.Type]*TypeLayout, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[t] = tl
+	c.m.Store(&next)
 	return tl
 }
+
+// Len returns the number of memoised layouts (for tests).
+func (c *Cache) Len() int { return len(*c.m.Load()) }
 
 // Build constructs the layout hash table for element type t.
 func Build(t *ctypes.Type) *TypeLayout {

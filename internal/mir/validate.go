@@ -103,6 +103,12 @@ func (p *Program) validateFunc(f *Func) error {
 	return nil
 }
 
+// Regs returns the registers an instruction uses and defines (-1 entries
+// are absent operands). It is the public form of regs, consumed by the
+// instrumenter's elision passes so their dataflow bookkeeping cannot
+// drift from the interpreter's actual operand shapes.
+func (in *Instr) Regs() (uses []int, defs []int) { return in.regs() }
+
 // regs returns the registers an instruction uses and defines.
 func (in *Instr) regs() (uses []int, defs []int) {
 	switch in.Op {

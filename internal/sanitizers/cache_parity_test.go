@@ -1,0 +1,96 @@
+package sanitizers
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+
+	"repro/internal/bugsuite"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// issueSummary renders a reporter's issues as a canonical string for
+// equality comparison across configurations.
+func issueSummary(res *RunResult) string {
+	kinds := res.Reporter.IssuesByKind()
+	keys := make([]int, 0, len(kinds))
+	for k := range kinds {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%d:%d;", k, kinds[core.ErrorKind(k)])
+	}
+	return s
+}
+
+// TestCheckCachingDetectionParityFig1 runs the Fig. 1 error-injection
+// corpus under full EffectiveSan with the §5.3 check cache on and off:
+// the caches are performance-only, so the detected issues must be
+// identical case by case.
+func TestCheckCachingDetectionParityFig1(t *testing.T) {
+	cached := ToolEffectiveSan
+	uncached := ToolEffectiveSan.Uncached()
+	for _, c := range bugsuite.Cases() {
+		prog, err := c.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		rc, err := cached.Exec(prog, "main", io.Discard)
+		if err != nil {
+			t.Fatalf("%s cached: %v", c.Name, err)
+		}
+		ru, err := uncached.Exec(prog, "main", io.Discard)
+		if err != nil {
+			t.Fatalf("%s uncached: %v", c.Name, err)
+		}
+		if got, want := issueSummary(rc), issueSummary(ru); got != want {
+			t.Errorf("%s: cached issues %q != uncached %q", c.Name, got, want)
+		}
+	}
+}
+
+// TestCheckCacheHitRateFig7 verifies the acceptance criterion on real
+// workloads: under the Fig. 7 SPEC programs the cached configuration
+// hits the memo cache and performs strictly fewer layout-table matches
+// than the uncached one, while detecting exactly the same issues.
+func TestCheckCacheHitRateFig7(t *testing.T) {
+	subset := []string{"perlbench", "mcf", "hmmer", "xalancbmk"}
+	for _, name := range subset {
+		b := spec.ByName(name)
+		if b == nil {
+			t.Fatalf("no spec workload %q", name)
+		}
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := ToolEffectiveSan.Exec(prog, b.Entry, io.Discard)
+		if err != nil {
+			t.Fatalf("%s cached: %v", name, err)
+		}
+		ru, err := ToolEffectiveSan.Uncached().Exec(prog, b.Entry, io.Discard)
+		if err != nil {
+			t.Fatalf("%s uncached: %v", name, err)
+		}
+		// The fast path is a degenerate (computed) cache hit: either way
+		// the layout table was not consulted, which is the §5.3 win.
+		if rc.Stats.CheckCacheHits+rc.Stats.CheckFastPath == 0 {
+			t.Errorf("%s: no check-cache hits", name)
+		}
+		if rc.Stats.LayoutMatches >= ru.Stats.LayoutMatches && ru.Stats.LayoutMatches > 0 {
+			t.Errorf("%s: cached layout matches %d, want fewer than uncached %d",
+				name, rc.Stats.LayoutMatches, ru.Stats.LayoutMatches)
+		}
+		if rc.Stats.TypeChecks != ru.Stats.TypeChecks {
+			t.Errorf("%s: type-check counts diverge: %d vs %d",
+				name, rc.Stats.TypeChecks, ru.Stats.TypeChecks)
+		}
+		if got, want := issueSummary(rc), issueSummary(ru); got != want {
+			t.Errorf("%s: cached issues %q != uncached %q", name, got, want)
+		}
+	}
+}

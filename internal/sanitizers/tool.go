@@ -27,12 +27,26 @@ type Tool struct {
 	// ModeLog; performance runs use ModeCount, as in the paper ("counting
 	// mode is used for measuring performance", §6).
 	Mode core.Mode
+	// CheckCache sizes the runtime's §5.3 type-check memo cache (0 =
+	// default, negative = disabled) — core.Options.CheckCacheSize.
+	CheckCache int
+	// NoOptimize disables the instrumentation check-elision optimisations
+	// (the Fig. 8 "no-opt" configuration).
+	NoOptimize bool
 }
 
 // Counting returns a copy of the tool with the reporter in counting mode.
 func (t *Tool) Counting() *Tool {
 	cp := *t
 	cp.Mode = core.ModeCount
+	return &cp
+}
+
+// Uncached returns a copy of the tool with the §5.3 type-check memo
+// cache disabled (the no-caching ablation).
+func (t *Tool) Uncached() *Tool {
+	cp := *t
+	cp.CheckCache = -1
 	return &cp
 }
 
@@ -84,9 +98,12 @@ func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint
 		res.HeapPeak = env.Heap().Stats().Peak
 		res.MemPages = env.Mem().TouchedBytes()
 	default:
-		ip, _ := instrument.Instrument(prog, instrument.Options{Variant: t.Variant})
+		ip, _ := instrument.Instrument(prog, instrument.Options{
+			Variant: t.Variant, NoOptimize: t.NoOptimize,
+		})
 		rt := core.NewRuntime(core.Options{
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,
+			CheckCacheSize: t.CheckCache,
 		})
 		res.Reporter = rt.Reporter
 		in, err = mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt), Out: out})
