@@ -124,8 +124,11 @@ func report(rep *core.Reporter, st core.StatsSnapshot, val uint64, stats bool) {
 		fmt.Printf("bounds checks:  %d\n", st.BoundsChecks)
 		fmt.Printf("bounds narrows: %d\n", st.BoundsNarrows)
 		fmt.Printf("coercions:      char %d, void* %d\n", st.CharCoercions, st.VoidPtrCoercions)
-		fmt.Printf("check cache:    fast-path %d, hits %d, misses %d (hit-rate %.1f%%), layout matches %d\n",
-			st.CheckFastPath, st.CheckCacheHits, st.CheckCacheMisses,
+		fmt.Printf("check cache:    fast-path %d, inline %d/%d (hit-rate %.1f%%), shared %d/%d (hit-rate %.1f%%), layout matches %d\n",
+			st.CheckFastPath,
+			st.InlineCacheHits, st.InlineCacheHits+st.InlineCacheMisses,
+			st.InlineCacheHitRate()*100,
+			st.CheckCacheHits, st.CheckCacheHits+st.CheckCacheMisses,
 			st.CheckCacheHitRate()*100, st.LayoutMatches)
 		fmt.Printf("allocations:    heap %d, stack %d, global %d; frees %d\n",
 			st.HeapAllocs, st.StackAllocs, st.GlobalAllocs, st.Frees)

@@ -12,7 +12,12 @@
 // corpus, the synthetic SPEC2006 and browser workloads, the experiment
 // harness) fill out the rest of internal/.
 //
-// The benchmarks in bench_test.go regenerate every table and figure of
-// the paper's evaluation; see DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-versus-measured results.
+// Start with README.md for the quickstart, the package map and how to
+// read the regenerated figures. docs/ARCHITECTURE.md describes the check
+// pipeline end to end — frontend → MIR → instrumentation → dominator-
+// based check elision → runtime — including the three-level §5.3 check
+// cache (exact-match fast path → per-site inline caches → shared
+// sharded cache) and every core.Stats counter. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation; cmd/effbench renders them from the command line.
 package repro

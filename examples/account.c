@@ -1,0 +1,18 @@
+// The paper's §1 motivating example: an in-bounds-of-the-allocation
+// write that overflows an interior array into a sibling field. Only
+// sub-object bounds narrowing catches it:
+//
+//	go run ./cmd/effsan -stats examples/account.c
+//	go run ./cmd/effsan -variant bounds examples/account.c   # misses it
+struct account { int number[8]; float balance; };
+
+int main() {
+    struct account *a = new struct account;
+    a->balance = 100.0;
+    int *digits = a->number;
+    for (int i = 0; i <= 8; i++) {   // i==8 lands on balance
+        digits[i] = 7;
+    }
+    free(a);
+    return 0;
+}

@@ -270,6 +270,54 @@ int main() {
 }`,
 		},
 		{
+			Name:  "uaf-hot-cache",
+			Class: Extra,
+			Desc: "use-after-free through a type-check site made hot before the free: " +
+				"every §5.3 cache level must miss once the metadata rebinds to FREE",
+			Src: `
+int *saved[1];
+
+int main() {
+    int acc = 0;
+    int *p = malloc(16 * sizeof(int));
+    p[0] = 3;
+    saved[0] = p;
+    for (int i = 0; i < 64; i++) {
+        int *q = saved[0];      // fresh input pointer: type-checked each round
+        acc = acc + q[0];       // the check site is hot by the time of the free
+    }
+    free(p);
+    int *d = saved[0];
+    return acc + d[0];          // use after free via the same load path
+}`,
+		},
+		{
+			Name:  "reuse-after-free-hot-cache",
+			Class: Extra,
+			Desc: "reuse-after-free (different type) through a hot check site after the " +
+				"quarantine is flushed: the recycled slot's new type id must defeat " +
+				"any cached (tid, k, s) entry",
+			Src: flush + `
+int *saved[1];
+
+int main() {
+    int acc = 0;
+    int *p = malloc(16 * sizeof(int));
+    p[0] = 3;
+    saved[0] = p;
+    for (int i = 0; i < 64; i++) {
+        int *q = saved[0];
+        acc = acc + q[0];       // hot site keyed (tid_int, 0, int)
+    }
+    free(p);
+    flush_quarantine();
+    double *r = malloc(8 * sizeof(double)); // recycles p's slot, rebinding its type
+    r[0] = 1.5;
+    int *d = saved[0];
+    return acc + d[0];          // stale pointer, stale cache key: must re-match
+}`,
+		},
+		{
 			Name:  "double-free",
 			Class: Extra,
 			Desc:  "freeing the same object twice",

@@ -34,13 +34,17 @@ type Options struct {
 	// Memory optionally supplies a shared address space; a fresh one is
 	// created if nil.
 	Memory *mem.Memory
-	// CheckCacheSize sizes the §5.3 type-check memoization cache (total
-	// slots, rounded up to a power of two per shard). Zero selects the
-	// default; a negative value disables the §5.3 check-caching suite
-	// entirely — the memo cache and the exact-match fast path — so every
-	// check runs the full layout-table match (the "no caching" ablation
-	// baseline).
+	// CheckCacheSize sizes the §5.3 shared type-check memoization cache
+	// (total slots, rounded up to a power of two per shard). Zero selects
+	// the default; a negative value disables the shared memo cache and
+	// the exact-match fast path, so every check not served by a per-site
+	// inline cache runs the full layout-table match.
 	CheckCacheSize int
+	// NoInlineCache disables the §5.3 per-site one-entry inline caches
+	// consulted before the shared memo cache (the "no inline cache"
+	// ablation level). Combine with a negative CheckCacheSize for the
+	// fully uncached baseline.
+	NoInlineCache bool
 }
 
 // Runtime is the EffectiveSan runtime system: a low-fat allocator whose
@@ -52,7 +56,8 @@ type Runtime struct {
 	mem      *mem.Memory
 	heap     *lowfat.Allocator
 	layouts  *layout.Cache
-	memo     *checkCache // §5.3 type-check memo cache; nil when disabled
+	memo     *checkCache  // §5.3 shared type-check memo cache; nil when disabled
+	inline   *inlineCache // §5.3 per-site inline caches; nil when disabled
 	Reporter *Reporter
 	stats    Stats
 
@@ -81,6 +86,7 @@ func NewRuntime(opts Options) *Runtime {
 		heap:     lowfat.New(m, lowfat.Options{Quarantine: opts.Quarantine}),
 		layouts:  layout.NewCache(),
 		memo:     newCheckCache(opts.CheckCacheSize),
+		inline:   newInlineCache(opts.NoInlineCache),
 		Reporter: NewReporter(opts.Mode, opts.AbortAfter),
 	}
 	reg := []*ctypes.Type{nil, ctypes.Free} // ids 0 (invalid), 1 (FREE)
@@ -89,9 +95,13 @@ func NewRuntime(opts Options) *Runtime {
 	return r
 }
 
-// CheckCacheSlots returns the total slot count of the type-check memo
-// cache (0 when the cache is disabled) — for tests and benchmarks.
+// CheckCacheSlots returns the total slot count of the shared type-check
+// memo cache (0 when the cache is disabled) — for tests and benchmarks.
 func (r *Runtime) CheckCacheSlots() int { return r.memo.len() }
+
+// InlineCacheSites returns the current capacity of the per-site inline
+// cache array (0 when disabled or never consulted) — for tests.
+func (r *Runtime) InlineCacheSites() int { return r.inline.sites() }
 
 // Mem returns the simulated memory.
 func (r *Runtime) Mem() *mem.Memory { return r.mem }
@@ -273,8 +283,26 @@ func (r *Runtime) dynamicType(p uint64) (t *ctypes.Type, tid, objBase, size uint
 // incomplete static type s[] and returns the matching sub-object's
 // bounds, narrowed to the allocation — the paper's type_check (Fig. 6).
 // On any failure an error is reported and wide bounds are returned, so
-// execution continues (logging semantics).
+// execution continues (logging semantics). The check is unsited: it
+// bypasses the per-site inline caches. Instrumented code calls
+// TypeCheckAt with the check site's ID instead.
 func (r *Runtime) TypeCheck(p uint64, s *ctypes.Type, site string) Bounds {
+	return r.TypeCheckAt(p, s, 0, site)
+}
+
+// TypeCheckAt is TypeCheck for an instrumented check site. siteID is the
+// stable 1-based ID the instrument pass assigned to the static
+// OpTypeCheck (0 for unsited checks); it selects the site's one-entry
+// inline cache, which is consulted before the shared memo cache:
+//
+//	exact-match fast path  (k == 0 && t == s: no table work at all)
+//	→ per-site inline cache (one entry per static check site)
+//	→ shared memo cache     (sharded, direct-mapped, all sites)
+//	→ layout-table match    (the full L(T,k) lookup of Fig. 6)
+//
+// All three cache levels key on (tid, k, s), so metadata rebinding on
+// free/realloc (which changes tid) can never produce a stale hit.
+func (r *Runtime) TypeCheckAt(p uint64, s *ctypes.Type, siteID int64, site string) Bounds {
 	r.stats.TypeChecks.Add(1)
 	if p == 0 {
 		// Null pointers are not objects; they are trapped on access, not
@@ -333,21 +361,43 @@ func (r *Runtime) TypeCheck(p uint64, s *ctypes.Type, site string) Bounds {
 		co      layout.Coercion
 		matched bool
 	)
-	if r.memo != nil {
-		sid := r.typeID(s)
-		var hit bool
-		e, co, matched, hit = r.memo.lookup(tid, kn, sid, s)
-		if hit {
-			r.stats.CheckCacheHits.Add(1)
+	// Level 2: the per-site inline cache — one entry, no hashing (the
+	// level-1 exact-match fast path returned above).
+	slot := r.inline.slot(siteID)
+	resolved := false
+	if slot != nil {
+		if en := slot.Load(); en != nil && en.tid == tid && en.k == kn && en.s == s {
+			r.stats.InlineCacheHits.Add(1)
+			e, co, matched = en.e, en.co, en.matched
+			resolved = true
 		} else {
-			r.stats.CheckCacheMisses.Add(1)
+			r.stats.InlineCacheMisses.Add(1)
+		}
+	}
+	// Level 3: the shared memo cache; past it, the layout-table match.
+	if !resolved {
+		if r.memo != nil {
+			sid := r.typeID(s)
+			var hit bool
+			e, co, matched, hit = r.memo.lookup(tid, kn, sid, s)
+			if hit {
+				r.stats.CheckCacheHits.Add(1)
+			} else {
+				r.stats.CheckCacheMisses.Add(1)
+				r.stats.LayoutMatches.Add(1)
+				e, co, matched = tl.Match(s, kn)
+				r.memo.store(tid, kn, sid, s, e, co, matched)
+			}
+		} else {
 			r.stats.LayoutMatches.Add(1)
 			e, co, matched = tl.Match(s, kn)
-			r.memo.store(tid, kn, sid, s, e, co, matched)
 		}
-	} else {
-		r.stats.LayoutMatches.Add(1)
-		e, co, matched = tl.Match(s, kn)
+		if slot != nil {
+			slot.Store(&checkEntry{
+				checkKey: checkKey{tid: tid, k: kn, s: s},
+				e:        e, co: co, matched: matched,
+			})
+		}
 	}
 	if !matched {
 		r.Reporter.Report(TypeError, s.String(), t.String(), kn, site)

@@ -17,13 +17,17 @@ type Stats struct {
 	VoidPtrCoercions atomic.Uint64
 
 	// §5.3 optimisation counters: checks resolved by the exact-match
-	// fast path, check-cache hits/misses, and the number of times the
-	// layout hash table was actually consulted (TypeChecks ≥ LayoutMatches;
-	// the gap is the work the optimisations elided).
-	CheckFastPath    atomic.Uint64
-	CheckCacheHits   atomic.Uint64
-	CheckCacheMisses atomic.Uint64
-	LayoutMatches    atomic.Uint64
+	// fast path (level 1), per-site inline-cache hits/misses (level 2),
+	// shared check-cache hits/misses (level 3), and the number of times
+	// the layout hash table was actually consulted — the all-levels-miss
+	// path (TypeChecks ≥ LayoutMatches; the gap is the work the cache
+	// levels elided). docs/ARCHITECTURE.md documents every counter.
+	CheckFastPath     atomic.Uint64
+	InlineCacheHits   atomic.Uint64
+	InlineCacheMisses atomic.Uint64
+	CheckCacheHits    atomic.Uint64
+	CheckCacheMisses  atomic.Uint64
+	LayoutMatches     atomic.Uint64
 
 	HeapAllocs   atomic.Uint64
 	StackAllocs  atomic.Uint64
@@ -43,10 +47,12 @@ type StatsSnapshot struct {
 	CharCoercions    uint64
 	VoidPtrCoercions uint64
 
-	CheckFastPath    uint64
-	CheckCacheHits   uint64
-	CheckCacheMisses uint64
-	LayoutMatches    uint64
+	CheckFastPath     uint64
+	InlineCacheHits   uint64
+	InlineCacheMisses uint64
+	CheckCacheHits    uint64
+	CheckCacheMisses  uint64
+	LayoutMatches     uint64
 
 	HeapAllocs   uint64
 	StackAllocs  uint64
@@ -58,34 +64,47 @@ type StatsSnapshot struct {
 // Stats returns a snapshot of the runtime's counters.
 func (r *Runtime) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		TypeChecks:       r.stats.TypeChecks.Load(),
-		NullTypeChecks:   r.stats.NullTypeChecks.Load(),
-		LegacyTypeChecks: r.stats.LegacyTypeChecks.Load(),
-		BoundsChecks:     r.stats.BoundsChecks.Load(),
-		BoundsGets:       r.stats.BoundsGets.Load(),
-		BoundsNarrows:    r.stats.BoundsNarrows.Load(),
-		CharCoercions:    r.stats.CharCoercions.Load(),
-		VoidPtrCoercions: r.stats.VoidPtrCoercions.Load(),
-		CheckFastPath:    r.stats.CheckFastPath.Load(),
-		CheckCacheHits:   r.stats.CheckCacheHits.Load(),
-		CheckCacheMisses: r.stats.CheckCacheMisses.Load(),
-		LayoutMatches:    r.stats.LayoutMatches.Load(),
-		HeapAllocs:       r.stats.HeapAllocs.Load(),
-		StackAllocs:      r.stats.StackAllocs.Load(),
-		GlobalAllocs:     r.stats.GlobalAllocs.Load(),
-		Frees:            r.stats.Frees.Load(),
-		LegacyFrees:      r.stats.LegacyFrees.Load(),
+		TypeChecks:        r.stats.TypeChecks.Load(),
+		NullTypeChecks:    r.stats.NullTypeChecks.Load(),
+		LegacyTypeChecks:  r.stats.LegacyTypeChecks.Load(),
+		BoundsChecks:      r.stats.BoundsChecks.Load(),
+		BoundsGets:        r.stats.BoundsGets.Load(),
+		BoundsNarrows:     r.stats.BoundsNarrows.Load(),
+		CharCoercions:     r.stats.CharCoercions.Load(),
+		VoidPtrCoercions:  r.stats.VoidPtrCoercions.Load(),
+		CheckFastPath:     r.stats.CheckFastPath.Load(),
+		InlineCacheHits:   r.stats.InlineCacheHits.Load(),
+		InlineCacheMisses: r.stats.InlineCacheMisses.Load(),
+		CheckCacheHits:    r.stats.CheckCacheHits.Load(),
+		CheckCacheMisses:  r.stats.CheckCacheMisses.Load(),
+		LayoutMatches:     r.stats.LayoutMatches.Load(),
+		HeapAllocs:        r.stats.HeapAllocs.Load(),
+		StackAllocs:       r.stats.StackAllocs.Load(),
+		GlobalAllocs:      r.stats.GlobalAllocs.Load(),
+		Frees:             r.stats.Frees.Load(),
+		LegacyFrees:       r.stats.LegacyFrees.Load(),
 	}
 }
 
-// CheckCacheHitRate returns the fraction of check-cache lookups that
-// hit, or 0 when the cache saw no traffic.
+// CheckCacheHitRate returns the fraction of shared check-cache lookups
+// that hit, or 0 when the cache saw no traffic. Inline-cache hits never
+// reach the shared cache, so the two rates measure disjoint traffic.
 func (s StatsSnapshot) CheckCacheHitRate() float64 {
 	total := s.CheckCacheHits + s.CheckCacheMisses
 	if total == 0 {
 		return 0
 	}
 	return float64(s.CheckCacheHits) / float64(total)
+}
+
+// InlineCacheHitRate returns the fraction of per-site inline-cache
+// lookups that hit, or 0 when no sited checks ran.
+func (s StatsSnapshot) InlineCacheHitRate() float64 {
+	total := s.InlineCacheHits + s.InlineCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.InlineCacheHits) / float64(total)
 }
 
 // LegacyRatio returns the fraction of type checks performed on legacy

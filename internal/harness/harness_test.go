@@ -87,6 +87,20 @@ func TestFig8Ordering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// All eight bars must be present with positive timings.
+	wantBars := []string{"Uninstrumented", "EffectiveSan", "EffectiveSan-noopt",
+		"EffectiveSan-nocache", "EffectiveSan-noinline", "EffectiveSan-perblock",
+		"EffectiveSan-bounds", "EffectiveSan-type"}
+	for _, r := range rows {
+		if len(r.Seconds) != len(wantBars) {
+			t.Fatalf("%s: %d bars, want %d: %v", r.Name, len(r.Seconds), len(wantBars), r.Seconds)
+		}
+		for _, bar := range wantBars {
+			if r.Seconds[bar] <= 0 {
+				t.Errorf("%s: bar %q missing or non-positive", r.Name, bar)
+			}
+		}
+	}
 	full := OverheadGeomean(rows, "EffectiveSan")
 	bounds := OverheadGeomean(rows, "EffectiveSan-bounds")
 	typ := OverheadGeomean(rows, "EffectiveSan-type")

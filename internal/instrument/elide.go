@@ -1,0 +1,296 @@
+package instrument
+
+import (
+	"sort"
+
+	"repro/internal/ctypes"
+	"repro/internal/mir"
+)
+
+// The §5.3 check-elision pass. The paper's optimiser runs on LLVM IR
+// with full CFG visibility; this file gives the MIR pass the same view:
+// instead of reusing checks within one basic block only, it walks the
+// dominator tree (mir.CFG, Cooper-Harvey-Kennedy dominators) carrying
+// the set of checks known to have executed on every path to the current
+// block. A check at site S is elided when an identical check on the same
+// provenance dominates S and nothing on any path between the two can
+// invalidate it.
+//
+// Three kinds of facts are tracked per register:
+//
+//   - checkedBy: the largest constant size a bounds check of the
+//     register has verified (subsumes later, smaller checks);
+//   - lastNarrow: the extent the register's bounds were last narrowed to
+//     (a repeat narrow to the same extent is a no-op);
+//   - lastType: the static type the register was last type-checked
+//     against (re-checking the same provenance against the same type
+//     recomputes the same bounds — §5.3's redundant-check removal).
+//
+// Soundness around deallocation: free, realloc and calls (which may
+// free) can rebind an object's metadata to FREE, changing what a type
+// check would report — so they are barriers that clear every lastType
+// fact. Bounds facts survive barriers because bounds_check never
+// consults metadata: it compares the pointer against the bounds register
+// file, which deallocation does not rewrite. When a fact crosses a block
+// boundary, the pass additionally filters it against every block that
+// can execute between the dominating check and the reuse site
+// (mir.CFG.Between): a kill or barrier on any such path invalidates the
+// fact, so a use-after-free on one arm of a branch is still re-checked
+// and reported at the join.
+
+// sizeFact and typeFact carry a fact plus whether it was inherited from
+// a dominating block (inherited elisions are the cross-block wins the
+// per-block pass cannot see).
+type sizeFact struct {
+	v         int64
+	inherited bool
+}
+
+type typeFact struct {
+	t         *ctypes.Type
+	inherited bool
+}
+
+// elideState is the fact set at one program point.
+type elideState struct {
+	checkedBy  map[int]sizeFact // reg -> largest bounds-checked size
+	lastNarrow map[int]sizeFact // reg -> last narrow extent
+	lastType   map[int]typeFact // reg -> static type last checked against
+}
+
+func newElideState() *elideState {
+	return &elideState{
+		checkedBy:  map[int]sizeFact{},
+		lastNarrow: map[int]sizeFact{},
+		lastType:   map[int]typeFact{},
+	}
+}
+
+// inherit deep-copies the state, marking every fact as inherited — it
+// now describes a dominating block rather than the current one.
+func (s *elideState) inherit() *elideState {
+	n := newElideState()
+	for r, f := range s.checkedBy {
+		f.inherited = true
+		n.checkedBy[r] = f
+	}
+	for r, f := range s.lastNarrow {
+		f.inherited = true
+		n.lastNarrow[r] = f
+	}
+	for r, f := range s.lastType {
+		f.inherited = true
+		n.lastType[r] = f
+	}
+	return n
+}
+
+func (s *elideState) invalidate(reg int) {
+	delete(s.checkedBy, reg)
+	delete(s.lastNarrow, reg)
+	delete(s.lastType, reg)
+}
+
+// propagate carries the check state from src to dst when the value and
+// its bounds register both copy (mov, pointer-identity cast).
+func (s *elideState) propagate(dst, src int) {
+	s.invalidate(dst)
+	if f, ok := s.checkedBy[src]; ok {
+		s.checkedBy[dst] = f
+	}
+	if f, ok := s.lastNarrow[src]; ok {
+		s.lastNarrow[dst] = f
+	}
+	if f, ok := s.lastType[src]; ok {
+		s.lastType[dst] = f
+	}
+}
+
+// blockEffects summarises what a block can do to facts flowing past it:
+// the registers whose facts it may change, and whether it contains a
+// deallocation barrier.
+type blockEffects struct {
+	killed  map[int]bool
+	barrier bool
+}
+
+func summarizeBlock(b *mir.Block) blockEffects {
+	eff := blockEffects{killed: map[int]bool{}}
+	for i := range b.Instrs {
+		ins := &b.Instrs[i]
+		switch ins.Op {
+		case mir.OpFree, mir.OpRealloc, mir.OpCall:
+			eff.barrier = true
+		case mir.OpTypeCheck, mir.OpBoundsGet, mir.OpBoundsNarrow:
+			// These rewrite the register's bounds (and, for narrow, the
+			// narrow state), so facts about it cannot cross this block.
+			eff.killed[ins.A] = true
+		}
+		_, defs := ins.Regs()
+		for _, d := range defs {
+			if d >= 0 {
+				eff.killed[d] = true
+			}
+		}
+	}
+	return eff
+}
+
+// apply filters a state by a block's effects — used on every block that
+// can execute between a dominating block and its dominated reuse site.
+func (s *elideState) apply(eff blockEffects) {
+	if eff.barrier {
+		clear(s.lastType)
+	}
+	for r := range eff.killed {
+		s.invalidate(r)
+	}
+}
+
+// elideBlock rewrites one block's instructions against the incoming fact
+// state, mutating state to the block's end-of-block facts. reuseChecks
+// gates the §5.3 type-check reuse specifically (Options.NoCheckReuse).
+func elideBlock(instrs []mir.Instr, s *elideState, st *Stats, reuseChecks bool) []mir.Instr {
+	crossBlock := func(inherited bool) {
+		if inherited {
+			st.ElidedCrossBlock++
+		}
+	}
+	var out []mir.Instr
+	for _, ins := range instrs {
+		switch ins.Op {
+		case mir.OpBoundsCheck:
+			if ins.B == -1 {
+				if f, ok := s.checkedBy[ins.A]; ok && f.v >= ins.Aux {
+					st.ElidedSubsume++
+					crossBlock(f.inherited)
+					continue
+				}
+				s.checkedBy[ins.A] = sizeFact{v: ins.Aux}
+			}
+		case mir.OpBoundsNarrow:
+			if f, ok := s.lastNarrow[ins.A]; ok && f.v == ins.Aux {
+				st.ElidedNarrows++
+				crossBlock(f.inherited)
+				continue
+			}
+			s.lastNarrow[ins.A] = sizeFact{v: ins.Aux}
+			delete(s.checkedBy, ins.A) // narrower bounds: recheck
+			delete(s.lastType, ins.A)  // narrowed bounds differ from a fresh check's
+		case mir.OpTypeCheck:
+			if reuseChecks {
+				if f, ok := s.lastType[ins.A]; ok && f.t == ins.Type {
+					st.ElidedRechecks++
+					crossBlock(f.inherited)
+					continue
+				}
+			}
+			s.invalidate(ins.A)
+			if reuseChecks {
+				s.lastType[ins.A] = typeFact{t: ins.Type}
+			}
+		case mir.OpBoundsGet:
+			s.invalidate(ins.A)
+		case mir.OpMov:
+			s.propagate(ins.Dst, ins.A)
+		case mir.OpCast:
+			if ins.Type.Kind == ctypes.KindPointer && ins.CastFrom != nil &&
+				ins.CastFrom.Kind == ctypes.KindPointer && ins.CastFrom.Elem == ins.Type.Elem {
+				s.propagate(ins.Dst, ins.A)
+			} else {
+				s.invalidate(ins.Dst)
+			}
+		case mir.OpFree, mir.OpRealloc, mir.OpCall:
+			// Deallocation (or a call that may deallocate) can rebind
+			// metadata to FREE: forget every remembered type check.
+			clear(s.lastType)
+			_, defs := ins.Regs()
+			for _, d := range defs {
+				if d >= 0 {
+					s.invalidate(d)
+				}
+			}
+		default:
+			_, defs := ins.Regs()
+			for _, d := range defs {
+				if d >= 0 {
+					s.invalidate(d)
+				}
+			}
+		}
+		out = append(out, ins)
+	}
+	return out
+}
+
+// elideChecks runs the elision pass over one function: a dominator-tree
+// walk by default, or the block-local form under NoCrossBlockElision
+// (the per-block ablation — exactly what the pass did before it had CFG
+// visibility).
+func elideChecks(f *mir.Func, opts Options, st *Stats) {
+	reuse := !opts.NoCheckReuse
+	if opts.NoCrossBlockElision {
+		for _, b := range f.Blocks {
+			b.Instrs = elideBlock(b.Instrs, newElideState(), st, reuse)
+		}
+		return
+	}
+	cfg := mir.NewCFG(f)
+	visited := make([]bool, len(f.Blocks))
+	// Dominator-tree DFS: a block inherits the end-of-block facts of its
+	// immediate dominator, filtered by everything that can run in
+	// between. Facts established in a sibling subtree never flow in —
+	// only dominating checks are guaranteed to have executed. Effect
+	// summaries are taken lazily, at descent time: a between-block whose
+	// own (redundant) check was already elided no longer rewrites the
+	// register's bounds at runtime, so it must not count as a kill —
+	// which is exactly what lets the entry check of a diamond serve both
+	// arms AND the join. Children are visited in reverse postorder, so a
+	// join's arms are processed (and their redundant checks removed)
+	// before the join itself; unprocessed between-blocks keep their
+	// conservative pre-elision summaries.
+	var walk func(bi int, in *elideState)
+	walk = func(bi int, in *elideState) {
+		visited[bi] = true
+		f.Blocks[bi].Instrs = elideBlock(f.Blocks[bi].Instrs, in, st, reuse)
+		for _, child := range cfg.DomChildren(bi) {
+			cs := in.inherit()
+			for _, x := range cfg.Between(bi, child) {
+				cs.apply(summarizeBlock(f.Blocks[x]))
+			}
+			walk(child, cs)
+		}
+	}
+	walk(0, newElideState())
+	// Blocks unreachable from the entry still get the block-local pass.
+	for i, b := range f.Blocks {
+		if !visited[i] {
+			b.Instrs = elideBlock(b.Instrs, newElideState(), st, reuse)
+		}
+	}
+}
+
+// assignSiteIDs numbers every OpTypeCheck in the instrumented program
+// with a stable 1-based site ID (stored in Instr.Aux), in sorted
+// function name, block, instruction order — after elision, so the IDs
+// are dense over the checks that will actually execute. The runtime's
+// per-site inline caches are indexed by these IDs.
+func assignSiteIDs(p *mir.Program, st *Stats) {
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	id := int64(0)
+	for _, name := range names {
+		for _, b := range p.Funcs[name].Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == mir.OpTypeCheck {
+					id++
+					b.Instrs[i].Aux = id
+				}
+			}
+		}
+	}
+	st.CheckSites = int(id)
+}

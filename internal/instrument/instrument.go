@@ -18,6 +18,12 @@
 // the responsibility of the eventual user of the pointer to check the
 // type". Allocations get their (trivially correct) allocation bounds via
 // bounds_get rather than a type check.
+//
+// After insertion, the §5.3 elision pass (elide.go) removes redundant
+// checks with full CFG visibility: a dominator-tree walk elides any
+// check whose provenance an identical dominating check already covers,
+// with free/realloc/call acting as barriers. Surviving type checks then
+// receive stable site IDs for the runtime's per-site inline caches.
 package instrument
 
 import (
@@ -65,11 +71,16 @@ type Options struct {
 	// upcast checks, subsumed bounds checks, redundant narrowing, and
 	// type-check reuse) — the Fig. 8 "no-opt" ablation configuration.
 	NoOptimize bool
-	// NoCheckReuse disables only the per-site type-check reuse pass (a
-	// pointer whose provenance was already type-checked in the same block
-	// keeps the cached bounds instead of re-checking), leaving the other
-	// optimisations on — to isolate §5.3's redundant-check removal.
+	// NoCheckReuse disables only the type-check reuse elision (a pointer
+	// whose provenance was already type-checked keeps the cached bounds
+	// instead of re-checking), leaving the other optimisations on — to
+	// isolate §5.3's redundant-check removal.
 	NoCheckReuse bool
+	// NoCrossBlockElision restricts the elision pass to single basic
+	// blocks (the pre-CFG behaviour): the dominator-based pass is
+	// replaced by the block-local one, so checks established in a
+	// dominating block are re-run — the "per-block" Fig. 8 ablation.
+	NoCrossBlockElision bool
 	// Naive replaces the input-pointer discipline with a type check
 	// before every single dereference — the strawman the schema's check
 	// minimisation is measured against (ablation only).
@@ -88,6 +99,14 @@ type Stats struct {
 	ElidedNarrows  int // redundant narrowing operations removed
 	ElidedUnused   int // input checks skipped on never-used pointers
 	ElidedRechecks int // type checks reusing an earlier check's bounds
+	// ElidedCrossBlock counts the subset of the elisions above whose
+	// justifying check lives in a dominating block — the wins only the
+	// CFG-aware pass can see (zero under NoCrossBlockElision).
+	ElidedCrossBlock int
+	// CheckSites is the number of static OpTypeCheck sites that survived
+	// elision; each gets a stable 1-based site ID for the runtime's
+	// per-site inline caches.
+	CheckSites int
 }
 
 // Instrument returns an instrumented deep copy of p; the input program is
@@ -102,6 +121,7 @@ func Instrument(p *mir.Program, opts Options) (*mir.Program, Stats) {
 	for _, f := range out.Funcs {
 		instrumentFunc(out, f, opts, &st)
 	}
+	assignSiteIDs(out, &st)
 	return out, st
 }
 
@@ -136,9 +156,7 @@ func instrumentFunc(p *mir.Program, f *mir.Func, opts Options, st *Stats) {
 		}
 	}
 	if !opts.NoOptimize {
-		for _, b := range f.Blocks {
-			b.Instrs = elideSubsumed(b.Instrs, st, !opts.NoCheckReuse)
-		}
+		elideChecks(f, opts, st)
 	}
 }
 
@@ -311,114 +329,6 @@ func safeUpcast(from, to *ctypes.Type) bool {
 		return false
 	}
 	return from.IsRecord() && from.HasBase(to)
-}
-
-// elideSubsumed removes, within one basic block:
-//
-//   - bounds checks subsumed by an earlier check of the same register
-//     with at least the same size (§6's "removing subsumed bounds
-//     checks");
-//   - redundant consecutive narrowing operations (§6's "removing
-//     redundant bounds narrowing operations");
-//   - when reuseChecks is set, type checks of a register whose
-//     provenance was already type-checked against the same static type
-//     earlier in the block: the bounds register file still holds that
-//     check's result (the interpreter propagates it through mov and
-//     cast), so re-running type_check would recompute the same bounds
-//     (§5.3's redundant-check removal).
-//
-// Type-check reuse must not survive operations that can rebind an
-// object's metadata: free, realloc and calls (which may free) clear the
-// reuse state, so a use-after-free between two checks of the same
-// pointer is still re-checked and reported.
-func elideSubsumed(instrs []mir.Instr, st *Stats, reuseChecks bool) []mir.Instr {
-	type checked struct {
-		size int64
-	}
-	checkedBy := map[int]checked{}     // reg -> biggest static size checked
-	lastNarrow := map[int]int64{}      // reg -> last narrow extent
-	lastType := map[int]*ctypes.Type{} // reg -> static type it was checked against
-	invalidate := func(reg int) {
-		delete(checkedBy, reg)
-		delete(lastNarrow, reg)
-		delete(lastType, reg)
-	}
-	// propagate carries the check state from src to dst when the value
-	// and its bounds register both copy (mov, pointer-identity cast).
-	propagate := func(dst, src int) {
-		invalidate(dst)
-		if c, ok := checkedBy[src]; ok {
-			checkedBy[dst] = c
-		}
-		if n, ok := lastNarrow[src]; ok {
-			lastNarrow[dst] = n
-		}
-		if t, ok := lastType[src]; ok {
-			lastType[dst] = t
-		}
-	}
-	var out []mir.Instr
-	for _, ins := range instrs {
-		switch ins.Op {
-		case mir.OpBoundsCheck:
-			if ins.B == -1 {
-				if c, ok := checkedBy[ins.A]; ok && c.size >= ins.Aux {
-					st.ElidedSubsume++
-					continue
-				}
-				checkedBy[ins.A] = checked{size: ins.Aux}
-			}
-		case mir.OpBoundsNarrow:
-			if n, ok := lastNarrow[ins.A]; ok && n == ins.Aux {
-				st.ElidedNarrows++
-				continue
-			}
-			lastNarrow[ins.A] = ins.Aux
-			delete(checkedBy, ins.A) // narrower bounds: recheck
-			delete(lastType, ins.A)  // narrowed bounds differ from a fresh check's
-		case mir.OpTypeCheck:
-			if reuseChecks {
-				if t, ok := lastType[ins.A]; ok && t == ins.Type {
-					st.ElidedRechecks++
-					continue
-				}
-			}
-			invalidate(ins.A)
-			if reuseChecks {
-				lastType[ins.A] = ins.Type
-			}
-		case mir.OpBoundsGet:
-			invalidate(ins.A)
-		case mir.OpMov:
-			propagate(ins.Dst, ins.A)
-		case mir.OpCast:
-			if ins.Type.Kind == ctypes.KindPointer && ins.CastFrom != nil &&
-				ins.CastFrom.Kind == ctypes.KindPointer && ins.CastFrom.Elem == ins.Type.Elem {
-				propagate(ins.Dst, ins.A)
-			} else {
-				invalidate(ins.Dst)
-			}
-		case mir.OpFree, mir.OpRealloc, mir.OpCall:
-			// Deallocation (or a call that may deallocate) can rebind
-			// metadata to FREE: forget every remembered type check.
-			clear(lastType)
-			_, defs := ins.Regs()
-			for _, d := range defs {
-				if d >= 0 {
-					invalidate(d)
-				}
-			}
-		default:
-			_, defs := ins.Regs()
-			for _, d := range defs {
-				if d >= 0 {
-					invalidate(d)
-				}
-			}
-		}
-		out = append(out, ins)
-	}
-	return out
 }
 
 // usedPointers computes the set of registers that are used as pointers —

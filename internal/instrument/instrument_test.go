@@ -518,6 +518,200 @@ func TestTypeCheckReuseBarrierOnFree(t *testing.T) {
 	}
 }
 
+// buildBranchy builds a branching program whose redundant checks are
+// only visible across blocks: one pointer loaded in the entry and then
+// dereferenced again on both branch arms and at the join.
+//
+//	entry: arr = malloc long[4]; load arr; br c -> left, right
+//	left:  load arr; jmp join
+//	right: load arr; jmp join
+//	join:  load arr; ret
+func buildBranchy(tb *ctypes.Table) *mir.Program {
+	p := mir.NewProgram(tb)
+	b := mir.NewFunc(p, "main", ctypes.Long)
+	arr := b.MallocN(ctypes.Long, 4)
+	v0 := b.Load(ctypes.Long, arr)
+	left, right, join := b.Reserve("left"), b.Reserve("right"), b.Reserve("join")
+	c := b.Const(ctypes.Int, 1)
+	b.Br(c, left, right)
+	b.SetBlock(left)
+	v1 := b.Load(ctypes.Long, arr)
+	b.Jmp(join)
+	b.SetBlock(right)
+	v2 := b.Load(ctypes.Long, arr)
+	b.Jmp(join)
+	b.SetBlock(join)
+	v3 := b.Load(ctypes.Long, arr)
+	s := b.Bin(mir.BinAdd, ctypes.Long, v0, v1)
+	s = b.Bin(mir.BinAdd, ctypes.Long, s, v2)
+	s = b.Bin(mir.BinAdd, ctypes.Long, s, v3)
+	b.Ret(s)
+	return p
+}
+
+// TestDominatorElisionBeatsPerBlock is the acceptance criterion for the
+// CFG-aware pass: on a branching program it removes strictly more checks
+// than the per-block pass — the entry check dominates both arms and the
+// join, so their re-checks are redundant, which block-local analysis
+// cannot see.
+func TestDominatorElisionBeatsPerBlock(t *testing.T) {
+	countChecks := func(p *mir.Program) int {
+		n := 0
+		for _, f := range p.Funcs {
+			n += countOps(f, mir.OpTypeCheck) + countOps(f, mir.OpBoundsCheck)
+		}
+		return n
+	}
+	opts := Options{Variant: Full, Naive: true}
+	perBlock := opts
+	perBlock.NoCrossBlockElision = true
+
+	tb := ctypes.NewTable()
+	ipDom, stDom := Instrument(buildBranchy(tb), opts)
+	tb2 := ctypes.NewTable()
+	ipPB, stPB := Instrument(buildBranchy(tb2), perBlock)
+
+	if got, want := countChecks(ipDom), countChecks(ipPB); got >= want {
+		t.Fatalf("dominator pass left %d checks, per-block %d: want strictly fewer", got, want)
+	}
+	// The three re-checks (left, right, join) and the three subsumed
+	// bounds checks are exactly the cross-block wins.
+	if stDom.ElidedRechecks != 3 {
+		t.Errorf("dominator rechecks elided = %d, want 3", stDom.ElidedRechecks)
+	}
+	if stDom.ElidedCrossBlock != 6 {
+		t.Errorf("cross-block elisions = %d, want 6 (3 type + 3 bounds)", stDom.ElidedCrossBlock)
+	}
+	if stPB.ElidedRechecks != 0 || stPB.ElidedCrossBlock != 0 {
+		t.Errorf("per-block pass claimed cross-block wins: %+v", stPB)
+	}
+
+	// Detection parity: both variants execute cleanly to the same value.
+	for name, ip := range map[string]*mir.Program{"dom": ipDom, "perblock": ipPB} {
+		rt := core.NewRuntime(core.Options{Types: ip.Types})
+		in, err := mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Run("main"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rt.Reporter.Total() != 0 {
+			t.Fatalf("%s: clean program reported errors:\n%s", name, rt.Reporter.Log())
+		}
+	}
+}
+
+// TestCrossBlockElisionBarrierOnPath: a free on ONE arm of a branch must
+// block elision at the join — the check there is the one that reports
+// the use-after-free.
+func TestCrossBlockElisionBarrierOnPath(t *testing.T) {
+	tb := ctypes.NewTable()
+	p := mir.NewProgram(tb)
+	b := mir.NewFunc(p, "main", ctypes.Long)
+	arr := b.MallocN(ctypes.Long, 4)
+	v0 := b.Load(ctypes.Long, arr)
+	fr, ok, join := b.Reserve("fr"), b.Reserve("ok"), b.Reserve("join")
+	c := b.Const(ctypes.Int, 1)
+	b.Br(c, fr, ok)
+	b.SetBlock(fr)
+	b.Free(arr)
+	b.Jmp(join)
+	b.SetBlock(ok)
+	b.Jmp(join)
+	b.SetBlock(join)
+	v1 := b.Load(ctypes.Long, arr) // UAF when the fr arm ran
+	b.Ret(b.Bin(mir.BinAdd, ctypes.Long, v0, v1))
+
+	ip, st := Instrument(p, Options{Variant: Full, Naive: true})
+	if st.ElidedRechecks != 0 {
+		t.Fatalf("type check elided across a freeing path: %+v", st)
+	}
+	rt := core.NewRuntime(core.Options{Types: tb})
+	in, err := mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Reporter.IssuesByKind()[core.UseAfterFree] == 0 {
+		t.Fatalf("use-after-free at the join undetected:\n%s", rt.Reporter.Log())
+	}
+}
+
+// TestCrossBlockElisionLoopBarrier: a free later in a loop body reaches
+// the top of the same body via the back edge, so the body's own check
+// cannot be elided against a preheader check.
+func TestCrossBlockElisionLoopBarrier(t *testing.T) {
+	tb := ctypes.NewTable()
+	p := mir.NewProgram(tb)
+	b := mir.NewFunc(p, "main", ctypes.Long)
+	arr := b.MallocN(ctypes.Long, 4)
+	v0 := b.Load(ctypes.Long, arr) // preheader check on arr's provenance
+	loop, exit := b.Reserve("loop"), b.Reserve("exit")
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	v1 := b.Load(ctypes.Long, arr) // must re-check: the body frees below
+	b.Free(arr)
+	c := b.Const(ctypes.Int, 0)
+	b.Br(c, loop, exit)
+	b.SetBlock(exit)
+	b.Ret(b.Bin(mir.BinAdd, ctypes.Long, v0, v1))
+
+	_, st := Instrument(p, Options{Variant: Full, Naive: true})
+	if st.ElidedRechecks != 0 {
+		t.Fatalf("loop-body check elided despite the in-loop free: %+v", st)
+	}
+}
+
+// TestSiteIDAssignment: every surviving OpTypeCheck carries a dense,
+// stable, 1-based site ID in Aux, and re-instrumenting the same program
+// reproduces the same assignment.
+func TestSiteIDAssignment(t *testing.T) {
+	collect := func(ip *mir.Program) []int64 {
+		var ids []int64
+		for _, f := range ip.Funcs {
+			for _, blk := range f.Blocks {
+				for _, ins := range blk.Instrs {
+					if ins.Op == mir.OpTypeCheck {
+						ids = append(ids, ins.Aux)
+					}
+				}
+			}
+		}
+		return ids
+	}
+	tb := ctypes.NewTable()
+	p := buildFig4(tb)
+	ip1, st1 := Instrument(p, Options{Variant: Full})
+	ids := collect(ip1)
+	if len(ids) == 0 || st1.CheckSites != len(ids) {
+		t.Fatalf("CheckSites = %d, %d checks found", st1.CheckSites, len(ids))
+	}
+	seen := map[int64]bool{}
+	for _, id := range ids {
+		if id < 1 || id > int64(st1.CheckSites) || seen[id] {
+			t.Fatalf("site IDs not dense and unique: %v", ids)
+		}
+		seen[id] = true
+	}
+	// Stability: a second instrumentation of the same input assigns the
+	// same IDs to the same sites (map iteration order must not leak in).
+	ip2, _ := Instrument(p, Options{Variant: Full})
+	for name, f := range ip1.Funcs {
+		f2 := ip2.Funcs[name]
+		for bi, blk := range f.Blocks {
+			for ii, ins := range blk.Instrs {
+				if ins.Op == mir.OpTypeCheck && f2.Blocks[bi].Instrs[ii].Aux != ins.Aux {
+					t.Fatalf("%s:%d:%d: site ID %d vs %d across runs",
+						name, bi, ii, ins.Aux, f2.Blocks[bi].Instrs[ii].Aux)
+				}
+			}
+		}
+	}
+}
+
 func TestTypeCheckReuseDetectionParity(t *testing.T) {
 	// The reuse pass is performance-only: a program with real errors
 	// must report the same issue kinds with and without it.

@@ -1,0 +1,314 @@
+package mir
+
+// This file provides the control-flow analyses the §5.3 check-elision
+// pass needs: block successors/predecessors derived from the terminators
+// (OpJmp/OpBr/OpRet), a reverse postorder, immediate dominators via the
+// Cooper-Harvey-Kennedy algorithm ("A Simple, Fast Dominance Algorithm"),
+// and a may-reach relation used to find the blocks that can execute
+// between a dominating check and its dominated reuse site.
+//
+// The paper's optimiser runs on LLVM IR with full CFG visibility; the
+// reproduction's instrument pass previously reused checks within one
+// basic block only. CFG gives it the same whole-function view.
+
+// CFG is the control-flow graph of one function. It is a snapshot: the
+// function must not be mutated structurally (blocks added/removed,
+// terminators changed) while the CFG is in use. Instruction-level edits
+// inside blocks are fine — the graph only depends on terminators.
+type CFG struct {
+	f *Func
+
+	// Succs and Preds are the per-block successor and predecessor lists
+	// (block indices). A block ending in OpRet has no successors; an
+	// OpBr with identical targets contributes one edge.
+	Succs [][]int
+	Preds [][]int
+
+	// RPO is a reverse postorder over the blocks reachable from the
+	// entry block (index 0). RPO[0] == 0.
+	RPO []int
+
+	rpoPos   []int   // block -> RPO position, -1 if unreachable
+	idom     []int   // block -> immediate dominator, -1 for entry/unreachable
+	children [][]int // dominator-tree children, ordered by RPO
+	pre      []int   // dominator-tree DFS entry numbering (for Dominates)
+	post     []int   // dominator-tree DFS exit numbering
+	reach    []bits  // reach[b] = blocks reachable from b via >= 1 edge
+}
+
+// bits is a simple fixed-size bitset over block indices.
+type bits []uint64
+
+func newBits(n int) bits      { return make(bits, (n+63)/64) }
+func (b bits) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bits) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bits) or(o bits) bool { // union in place; reports change
+	changed := false
+	for i := range b {
+		if n := b[i] | o[i]; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// blockSuccs returns the successor block indices of b per its terminator.
+// A block that is empty or not properly terminated (possible only on IR
+// that would fail Validate) is treated as having no successors.
+func blockSuccs(b *Block) []int {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := &b.Instrs[len(b.Instrs)-1]
+	switch t.Op {
+	case OpJmp:
+		return []int{t.To}
+	case OpBr:
+		if t.To == t.Else {
+			return []int{t.To}
+		}
+		return []int{t.To, t.Else}
+	}
+	return nil
+}
+
+// NewCFG builds the control-flow graph, reverse postorder, dominator
+// tree and reachability closure of f.
+func NewCFG(f *Func) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		f:      f,
+		Succs:  make([][]int, n),
+		Preds:  make([][]int, n),
+		rpoPos: make([]int, n),
+		idom:   make([]int, n),
+	}
+	for i, b := range f.Blocks {
+		c.Succs[i] = blockSuccs(b)
+	}
+	for i, ss := range c.Succs {
+		for _, s := range ss {
+			c.Preds[s] = append(c.Preds[s], i)
+		}
+	}
+	c.buildRPO()
+	c.buildDominators()
+	c.buildDomTree()
+	c.buildReach()
+	return c
+}
+
+// buildRPO computes a reverse postorder of the blocks reachable from
+// block 0 (iterative DFS, postorder reversed).
+func (c *CFG) buildRPO() {
+	n := len(c.f.Blocks)
+	for i := range c.rpoPos {
+		c.rpoPos[i] = -1
+	}
+	if n == 0 {
+		return
+	}
+	visited := make([]bool, n)
+	var post []int
+	type frame struct {
+		b    int
+		next int
+	}
+	stack := []frame{{0, 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(c.Succs[fr.b]) {
+			s := c.Succs[fr.b][fr.next]
+			fr.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	c.RPO = make([]int, len(post))
+	for i, b := range post {
+		c.RPO[len(post)-1-i] = b
+	}
+	for pos, b := range c.RPO {
+		c.rpoPos[b] = pos
+	}
+}
+
+// buildDominators runs the Cooper-Harvey-Kennedy iterative dominance
+// algorithm over the reverse postorder.
+func (c *CFG) buildDominators() {
+	for i := range c.idom {
+		c.idom[i] = -1
+	}
+	if len(c.RPO) == 0 {
+		return
+	}
+	// The algorithm wants idom[entry] = entry while iterating.
+	c.idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO[1:] {
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if c.idom[p] == -1 && p != 0 {
+					continue // predecessor not yet processed (or unreachable)
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = c.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && c.idom[b] != newIdom {
+				c.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	c.idom[0] = -1 // the entry block has no immediate dominator
+}
+
+// intersect walks the two dominator chains up to their common ancestor,
+// comparing by RPO position (CHK's two-finger walk).
+func (c *CFG) intersect(a, b int) int {
+	for a != b {
+		for c.rpoPos[a] > c.rpoPos[b] {
+			a = c.idomOrEntry(a)
+		}
+		for c.rpoPos[b] > c.rpoPos[a] {
+			b = c.idomOrEntry(b)
+		}
+	}
+	return a
+}
+
+func (c *CFG) idomOrEntry(b int) int {
+	if b == 0 {
+		return 0
+	}
+	if d := c.idom[b]; d != -1 {
+		return d
+	}
+	return 0
+}
+
+// buildDomTree materialises the children lists and the DFS interval
+// numbering that makes Dominates an O(1) range test.
+func (c *CFG) buildDomTree() {
+	n := len(c.f.Blocks)
+	c.children = make([][]int, n)
+	for _, b := range c.RPO[1:] { // RPO order keeps children deterministic
+		c.children[c.idom[b]] = append(c.children[c.idom[b]], b)
+	}
+	c.pre = make([]int, n)
+	c.post = make([]int, n)
+	for i := range c.pre {
+		c.pre[i], c.post[i] = -1, -1
+	}
+	if len(c.RPO) == 0 {
+		return
+	}
+	clock := 0
+	type frame struct {
+		b    int
+		next int
+	}
+	stack := []frame{{0, 0}}
+	c.pre[0] = clock
+	clock++
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(c.children[fr.b]) {
+			ch := c.children[fr.b][fr.next]
+			fr.next++
+			c.pre[ch] = clock
+			clock++
+			stack = append(stack, frame{ch, 0})
+			continue
+		}
+		c.post[fr.b] = clock
+		clock++
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// buildReach computes the may-reach closure: reach[b] holds every block
+// reachable from b along one or more CFG edges (so a block is in its own
+// reach set exactly when it lies on a cycle). Computed by iterating
+// reach[b] = union over successors s of ({s} ∪ reach[s]) to fixpoint in
+// postorder, which converges in O(loop nesting) sweeps.
+func (c *CFG) buildReach() {
+	n := len(c.f.Blocks)
+	c.reach = make([]bits, n)
+	for i := range c.reach {
+		c.reach[i] = newBits(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Postorder (reverse of RPO) visits successors first.
+		for i := len(c.RPO) - 1; i >= 0; i-- {
+			b := c.RPO[i]
+			for _, s := range c.Succs[b] {
+				if !c.reach[b].has(s) {
+					c.reach[b].set(s)
+					changed = true
+				}
+				if c.reach[b].or(c.reach[s]) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// Reachable reports whether control can flow from block a to block b
+// along one or more edges (Reachable(b, b) is true only when b is on a
+// cycle).
+func (c *CFG) Reachable(a, b int) bool { return c.reach[a].has(b) }
+
+// Idom returns the immediate dominator of block b, or -1 for the entry
+// block and for blocks unreachable from it.
+func (c *CFG) Idom(b int) int { return c.idom[b] }
+
+// DomChildren returns the dominator-tree children of block b in reverse
+// postorder.
+func (c *CFG) DomChildren(b int) []int { return c.children[b] }
+
+// Dominates reports whether block a dominates block b (every path from
+// the entry to b passes through a; a dominates itself). Unreachable
+// blocks dominate nothing and are dominated by nothing.
+func (c *CFG) Dominates(a, b int) bool {
+	if c.pre[a] == -1 || c.pre[b] == -1 {
+		return false
+	}
+	return c.pre[a] <= c.pre[b] && c.post[b] <= c.post[a]
+}
+
+// Between returns the blocks that can execute strictly between the end
+// of block a and the start of block b on some a→b control-flow path,
+// where a dominates b: every X (other than a itself) with X reachable
+// from a and b reachable from X. b itself is included exactly when b
+// lies on a cycle, in which case a path may revisit b's interior before
+// re-entering it. The check-elision pass uses this set to decide which
+// kills and barriers can invalidate a dominating check before its reuse
+// site runs; a itself is excluded because re-executing a (on a cycle
+// through a) re-establishes a's own end-of-block facts, and any other
+// block on such a cycle is in the set.
+func (c *CFG) Between(a, b int) []int {
+	var out []int
+	for x := 0; x < len(c.f.Blocks); x++ {
+		if x == a {
+			continue
+		}
+		if c.reach[a].has(x) && c.reach[x].has(b) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

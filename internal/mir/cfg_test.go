@@ -1,0 +1,202 @@
+package mir
+
+import (
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+// buildDiamond builds:
+//
+//	entry(0) -> {left(1), right(2)}; left,right -> join(3); join -> ret
+func buildDiamond(t *testing.T) *Func {
+	t.Helper()
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	b := NewFunc(p, "d", ctypes.Int, Param{Name: "c", Type: ctypes.Int})
+	left, right, join := b.Reserve("left"), b.Reserve("right"), b.Reserve("join")
+	b.Br(b.Param(0), left, right)
+	b.SetBlock(left)
+	b.Jmp(join)
+	b.SetBlock(right)
+	b.Jmp(join)
+	b.SetBlock(join)
+	b.Ret(b.Const(ctypes.Int, 0))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b.F
+}
+
+func TestCFGDiamond(t *testing.T) {
+	f := buildDiamond(t)
+	c := NewCFG(f)
+
+	if got := c.Succs[0]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("entry succs = %v, want [1 2]", got)
+	}
+	if got := c.Preds[3]; len(got) != 2 {
+		t.Fatalf("join preds = %v, want two", got)
+	}
+	if c.RPO[0] != 0 {
+		t.Fatalf("RPO starts at %d, want entry", c.RPO[0])
+	}
+	// Dominators: entry dominates everything; the branches dominate only
+	// themselves; the join's idom is the entry, not a branch.
+	for b := 0; b < 4; b++ {
+		if !c.Dominates(0, b) {
+			t.Errorf("entry should dominate block %d", b)
+		}
+	}
+	if c.Idom(3) != 0 {
+		t.Errorf("idom(join) = %d, want 0", c.Idom(3))
+	}
+	if c.Idom(1) != 0 || c.Idom(2) != 0 {
+		t.Errorf("idom(branches) = %d,%d, want 0,0", c.Idom(1), c.Idom(2))
+	}
+	if c.Dominates(1, 3) || c.Dominates(2, 3) {
+		t.Error("a branch arm must not dominate the join")
+	}
+	if c.Dominates(3, 1) {
+		t.Error("join must not dominate an arm")
+	}
+	if c.Idom(0) != -1 {
+		t.Errorf("idom(entry) = %d, want -1", c.Idom(0))
+	}
+
+	// Between(entry, join) is exactly the two arms: they can run between
+	// the entry's end and the join's start. No block is on a cycle.
+	between := c.Between(0, 3)
+	if len(between) != 2 || between[0] != 1 || between[1] != 2 {
+		t.Fatalf("Between(entry, join) = %v, want [1 2]", between)
+	}
+	for b := 0; b < 4; b++ {
+		if c.Reachable(b, b) {
+			t.Errorf("acyclic graph: block %d reaches itself", b)
+		}
+	}
+}
+
+// buildLoop builds entry(0) -> head(1); head -> {body(2), exit(3)};
+// body -> head.
+func buildLoop(t *testing.T) *Func {
+	t.Helper()
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	b := NewFunc(p, "l", ctypes.Int, Param{Name: "n", Type: ctypes.Int})
+	head, body, exit := b.Reserve("head"), b.Reserve("body"), b.Reserve("exit")
+	b.Jmp(head)
+	b.SetBlock(head)
+	b.Br(b.Param(0), body, exit)
+	b.SetBlock(body)
+	b.Jmp(head)
+	b.SetBlock(exit)
+	b.Ret(b.Const(ctypes.Int, 0))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b.F
+}
+
+func TestCFGLoop(t *testing.T) {
+	f := buildLoop(t)
+	c := NewCFG(f)
+
+	if c.Idom(1) != 0 || c.Idom(2) != 1 || c.Idom(3) != 1 {
+		t.Fatalf("idoms = %d,%d,%d, want 0,1,1", c.Idom(1), c.Idom(2), c.Idom(3))
+	}
+	if !c.Dominates(1, 2) || !c.Dominates(1, 3) {
+		t.Error("loop head must dominate body and exit")
+	}
+	if c.Dominates(2, 1) {
+		t.Error("body must not dominate head (entry edge bypasses it)")
+	}
+	// head and body are on a cycle; entry and exit are not.
+	if !c.Reachable(1, 1) || !c.Reachable(2, 2) {
+		t.Error("loop blocks should reach themselves")
+	}
+	if c.Reachable(0, 0) || c.Reachable(3, 3) {
+		t.Error("entry/exit are not on a cycle")
+	}
+	// Between(head, body): the back edge lets body and head themselves
+	// re-run between an execution of head and the next entry of body.
+	between := c.Between(1, 2)
+	want := map[int]bool{2: true} // body on its own cycle; head excluded by rule
+	for _, x := range between {
+		if !want[x] {
+			t.Errorf("Between(head, body) contains unexpected block %d", x)
+		}
+		delete(want, x)
+	}
+	if len(want) != 0 {
+		t.Errorf("Between(head, body) missing %v", want)
+	}
+}
+
+func TestCFGUnreachableBlock(t *testing.T) {
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	b := NewFunc(p, "u", ctypes.Int)
+	dead := b.Reserve("dead")
+	b.Ret(b.Const(ctypes.Int, 0))
+	b.SetBlock(dead)
+	b.Ret(b.Const(ctypes.Int, 1))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCFG(b.F)
+	if len(c.RPO) != 1 {
+		t.Fatalf("RPO = %v, want entry only", c.RPO)
+	}
+	if c.Idom(dead) != -1 {
+		t.Errorf("unreachable block has idom %d", c.Idom(dead))
+	}
+	if c.Dominates(0, dead) || c.Dominates(dead, 0) {
+		t.Error("unreachable blocks neither dominate nor are dominated")
+	}
+}
+
+// TestCFGNestedLoops stresses the iterative dominance computation on a
+// nested loop with an early exit from the inner loop.
+func TestCFGNestedLoops(t *testing.T) {
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	b := NewFunc(p, "n", ctypes.Int, Param{Name: "c", Type: ctypes.Int})
+	outer := b.Reserve("outer")
+	inner := b.Reserve("inner")
+	innerBody := b.Reserve("innerBody")
+	outerLatch := b.Reserve("outerLatch")
+	exit := b.Reserve("exit")
+	b.Jmp(outer)
+	b.SetBlock(outer)
+	b.Jmp(inner)
+	b.SetBlock(inner)
+	b.Br(b.Param(0), innerBody, outerLatch)
+	b.SetBlock(innerBody)
+	b.Br(b.Param(0), inner, exit) // early exit from the inner loop
+	b.SetBlock(outerLatch)
+	b.Br(b.Param(0), outer, exit)
+	b.SetBlock(exit)
+	b.Ret(b.Const(ctypes.Int, 0))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCFG(b.F)
+
+	if c.Idom(outer) != 0 || c.Idom(inner) != outer || c.Idom(innerBody) != inner ||
+		c.Idom(outerLatch) != inner {
+		t.Fatalf("unexpected idoms: outer=%d inner=%d body=%d latch=%d",
+			c.Idom(outer), c.Idom(inner), c.Idom(innerBody), c.Idom(outerLatch))
+	}
+	// exit is reached from innerBody and outerLatch, whose common
+	// dominator is inner.
+	if c.Idom(exit) != inner {
+		t.Fatalf("idom(exit) = %d, want inner (%d)", c.Idom(exit), inner)
+	}
+	if !c.Reachable(outer, outer) || !c.Reachable(inner, inner) {
+		t.Error("loop headers should be on cycles")
+	}
+	if c.Reachable(exit, exit) {
+		t.Error("exit is not on a cycle")
+	}
+}

@@ -296,7 +296,7 @@ func (in *Interp) exec(rs *runState, f *Func, args []uint64) uint64 {
 				fmt.Fprintln(in.out, ins.Str)
 
 			case OpTypeCheck:
-				bregs[ins.A] = in.effRT(ins).TypeCheck(regs[ins.A], ins.Type, ins.Site)
+				bregs[ins.A] = in.effRT(ins).TypeCheckAt(regs[ins.A], ins.Type, ins.Aux, ins.Site)
 			case OpBoundsGet:
 				bregs[ins.A] = in.effRT(ins).BoundsGet(regs[ins.A])
 			case OpBoundsNarrow:

@@ -18,6 +18,11 @@
 // interpreter over the simulated memory. Baseline sanitizers hook the
 // interpreter through the Hooks interface instead of rewriting the IR,
 // mirroring how runtime-interception tools work.
+//
+// CFG (cfg.go) provides the control-flow analyses the instrumenter's
+// §5.3 elision pass runs on: successors from the block terminators,
+// reverse postorder, Cooper-Harvey-Kennedy dominators and a may-reach
+// relation.
 package mir
 
 import (
@@ -73,8 +78,15 @@ const (
 
 	// Instrumentation pseudo-ops, inserted by package instrument. They
 	// read/write the bounds register file, which shadows the value
-	// registers one-to-one.
-	OpTypeCheck    // bounds[A] = type_check(A, Type[])     (Fig. 3(a)-(d))
+	// registers one-to-one (see the provenance note on Instr).
+	//
+	// OpTypeCheck.Aux carries the check's site ID: a stable 1-based
+	// integer the instrument pass assigns to every static OpTypeCheck it
+	// emits, in sorted-function then block then instruction order, after
+	// all elision passes have run. The runtime uses it to select the
+	// §5.3 per-site one-entry inline cache; 0 marks an unsited check
+	// (hand-built IR), which bypasses the inline level.
+	OpTypeCheck    // bounds[A] = type_check(A, Type[]), Aux = site ID (Fig. 3(a)-(d))
 	OpBoundsGet    // bounds[A] = allocation bounds of A    (bounds variant)
 	OpBoundsNarrow // bounds[A] = narrow(bounds[A], A..A+Aux) (Fig. 3(e))
 	OpBoundsCheck  // bounds_check(A, size Aux, bounds[A])  (Fig. 3(g))
@@ -113,6 +125,20 @@ const (
 
 // Instr is one MIR instruction. Fields are interpreted per Op; unused
 // register fields are -1.
+//
+// Provenance semantics: every value register r has a shadow bounds
+// register bounds[r], holding the (sub-)object bounds the last check of
+// r established. The interpreter propagates bounds through the ops that
+// preserve pointer provenance — OpMov copies bounds[A] to bounds[Dst],
+// OpCast does the same (casts don't move the pointer), and
+// OpField/OpIndex carry the base's bounds to the derived pointer — while
+// every other def resets bounds[Dst] to Wide. The instrument pass leans
+// on exactly this propagation when it elides a check: "the provenance of
+// S was already checked" means some earlier check wrote bounds for a
+// register this one transitively copies from, with no intervening
+// redefinition. Regs (validate.go) is the authoritative use/def shape
+// per op; the elision passes consume it so their dataflow bookkeeping
+// cannot drift from the interpreter's operand handling.
 type Instr struct {
 	Op       Op
 	Dst      int

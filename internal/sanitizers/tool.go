@@ -27,12 +27,19 @@ type Tool struct {
 	// ModeLog; performance runs use ModeCount, as in the paper ("counting
 	// mode is used for measuring performance", §6).
 	Mode core.Mode
-	// CheckCache sizes the runtime's §5.3 type-check memo cache (0 =
-	// default, negative = disabled) — core.Options.CheckCacheSize.
+	// CheckCache sizes the runtime's §5.3 shared type-check memo cache
+	// (0 = default, negative = disabled) — core.Options.CheckCacheSize.
 	CheckCache int
+	// NoInlineCache disables the runtime's §5.3 per-site inline caches
+	// (the "no-inline" Fig. 8 ablation) — core.Options.NoInlineCache.
+	NoInlineCache bool
 	// NoOptimize disables the instrumentation check-elision optimisations
 	// (the Fig. 8 "no-opt" configuration).
 	NoOptimize bool
+	// NoCrossBlockElision restricts check elision to single basic blocks
+	// (the "per-block" Fig. 8 ablation) —
+	// instrument.Options.NoCrossBlockElision.
+	NoCrossBlockElision bool
 }
 
 // Counting returns a copy of the tool with the reporter in counting mode.
@@ -42,11 +49,47 @@ func (t *Tool) Counting() *Tool {
 	return &cp
 }
 
-// Uncached returns a copy of the tool with the §5.3 type-check memo
-// cache disabled (the no-caching ablation).
+// Uncached returns a copy of the tool with every §5.3 check-cache level
+// disabled — the per-site inline caches, the shared memo cache and the
+// exact-match fast path (the no-caching ablation).
 func (t *Tool) Uncached() *Tool {
 	cp := *t
 	cp.CheckCache = -1
+	cp.NoInlineCache = true
+	return &cp
+}
+
+// WithoutInlineCache returns a copy of the tool with only the per-site
+// inline caches disabled, leaving the shared memo cache on — for
+// comparing the two cache levels' hit rates.
+func (t *Tool) WithoutInlineCache() *Tool {
+	cp := *t
+	cp.NoInlineCache = true
+	return &cp
+}
+
+// WithoutOptimizations returns a copy of the tool with the
+// instrumentation check-elision optimisations disabled (the Fig. 8
+// "no-opt" ablation).
+func (t *Tool) WithoutOptimizations() *Tool {
+	cp := *t
+	cp.NoOptimize = true
+	return &cp
+}
+
+// PerBlockElision returns a copy of the tool with check elision
+// restricted to single basic blocks (the pre-CFG instrumentation).
+func (t *Tool) PerBlockElision() *Tool {
+	cp := *t
+	cp.NoCrossBlockElision = true
+	return &cp
+}
+
+// Named returns a copy of the tool under a different display name (for
+// ablation bars).
+func (t *Tool) Named(name string) *Tool {
+	cp := *t
+	cp.Name = name
 	return &cp
 }
 
@@ -100,10 +143,11 @@ func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint
 	default:
 		ip, _ := instrument.Instrument(prog, instrument.Options{
 			Variant: t.Variant, NoOptimize: t.NoOptimize,
+			NoCrossBlockElision: t.NoCrossBlockElision,
 		})
 		rt := core.NewRuntime(core.Options{
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,
-			CheckCacheSize: t.CheckCache,
+			CheckCacheSize: t.CheckCache, NoInlineCache: t.NoInlineCache,
 		})
 		res.Reporter = rt.Reporter
 		in, err = mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt), Out: out})
