@@ -6,9 +6,15 @@
 //	effbench -experiment fig7    SPEC2006 summary: checks and issues (Fig. 7)
 //	effbench -experiment fig8    SPEC2006 timings, eight configurations (Fig. 8)
 //	effbench -experiment fig9    peak memory (Fig. 9)
-//	effbench -experiment fig10   browser workloads, relative time (Fig. 10)
+//	effbench -experiment fig10   browser workloads (relative time) and the
+//	                             sharded multi-threaded SPEC scalability curve
 //	effbench -experiment tools   §6.2 overhead comparison of baseline tools
 //	effbench -experiment all     everything above
+//
+// The fig10 scalability curve is governed by -threads (top of the thread
+// curve) and -jobs (jobs per workload per point); see docs/BENCHMARKS.md
+// for every flag, knob combination and the JSON schemas emitted by
+// -json (Fig. 8 series) and -json-fig10 (Fig. 10 series).
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/harness"
 )
@@ -28,12 +35,35 @@ type fig8JSON struct {
 	GeomeanOverhead map[string]float64 `json:"geomean_overhead"`
 }
 
+// fig10JSON is the machine-readable form of the Fig. 10 series — the
+// browser relative-time bars plus the sharded SPEC scalability curve —
+// committed as BENCH_fig10.json.
+type fig10JSON struct {
+	Experiment string `json:"experiment"`
+	Threads    []int  `json:"threads"`
+	Jobs       int    `json:"jobs_per_workload"`
+	// GoMaxProcs and NumCPU record the measuring machine's parallelism:
+	// wall-clock speedup is bounded by them, so a flat curve from a
+	// single-core CI box is expected, not a regression.
+	GoMaxProcs int                       `json:"gomaxprocs"`
+	NumCPU     int                       `json:"num_cpu"`
+	Workloads  []string                  `json:"workloads"`
+	Browser    []harness.Fig10Row        `json:"browser"`
+	Scaling    []harness.Fig10ScalingRow `json:"scaling"`
+}
+
 func main() {
 	experiment := flag.String("experiment", "all",
 		"which experiment to run: fig1, fig7, fig8, fig9, fig10, tools, all")
 	repeat := flag.Int("repeat", 3, "timing repetitions (best-of) for fig8")
+	threads := flag.Int("threads", 16,
+		"top of the fig10 scalability thread curve (measures 1,2,4,... up to N)")
+	jobs := flag.Int("jobs", 16,
+		"jobs per workload per fig10 scalability point")
 	jsonPath := flag.String("json", "",
 		"also write the fig8 series as JSON to this path (requires fig8 to run)")
+	json10Path := flag.String("json-fig10", "",
+		"also write the fig10 series as JSON to this path (requires fig10 to run)")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -70,22 +100,41 @@ func main() {
 				}
 			}
 		}
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			return err
-		}
-		return os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		return writeJSON(*jsonPath, out)
 	})
 	run("fig9", func() error {
 		_, err := harness.Fig9(os.Stdout)
 		return err
 	})
 	run("fig10", func() error {
-		_, err := harness.Fig10(os.Stdout)
-		return err
+		browser, err := harness.Fig10(os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		curve := harness.ThreadCurve(*threads)
+		workloads := harness.Fig10ScalingWorkloads()
+		scaling, err := harness.Fig10Scaling(os.Stdout, curve, *jobs, workloads)
+		if err != nil || *json10Path == "" {
+			return err
+		}
+		return writeJSON(*json10Path, fig10JSON{
+			Experiment: "fig10", Threads: curve, Jobs: *jobs,
+			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			Workloads: workloads, Browser: browser, Scaling: scaling,
+		})
 	})
 	run("tools", func() error {
 		_, err := harness.ToolComparison(os.Stdout, nil)
 		return err
 	})
+}
+
+// writeJSON marshals v indented and writes it with a trailing newline.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

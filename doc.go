@@ -12,12 +12,20 @@
 // corpus, the synthetic SPEC2006 and browser workloads, the experiment
 // harness) fill out the rest of internal/.
 //
+// The runtime is multi-tenant: one core.Runtime safely serves many
+// goroutines (the Fig. 10 browser sessions and the sharded SPEC worker
+// pool behind cmd/effbench -threads), with per-worker statistics
+// through Runtime.StatsView and atomic core.Stats counters aggregated
+// by the snapshot merge API.
+//
 // Start with README.md for the quickstart, the package map and how to
 // read the regenerated figures. docs/ARCHITECTURE.md describes the check
 // pipeline end to end — frontend → MIR → instrumentation → dominator-
 // based check elision → runtime — including the three-level §5.3 check
 // cache (exact-match fast path → per-site inline caches → shared
-// sharded cache) and every core.Stats counter. The benchmarks in
-// bench_test.go regenerate every table and figure of the paper's
-// evaluation; cmd/effbench renders them from the command line.
+// sharded cache), the concurrency & memory model, and every core.Stats
+// counter. docs/BENCHMARKS.md is the measurement methodology: every
+// effbench flag, knob combination, JSON schema and CI artifact. The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; cmd/effbench renders them from the command line.
 package repro

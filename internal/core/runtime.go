@@ -50,7 +50,13 @@ type Options struct {
 // Runtime is the EffectiveSan runtime system: a low-fat allocator whose
 // allocations carry dynamic type metadata, plus the type_check /
 // bounds_check operations the instrumentation schema calls. All methods
-// are safe for concurrent use.
+// are safe for concurrent use: one Runtime serves every worker goroutine
+// of the sharded harness and the Fig. 10 browser sessions.
+//
+// Every field is a pointer to shared state, so a Runtime value is a
+// cheap view: StatsView shallow-copies it with a different counter sink,
+// which is how sharded runs get per-worker statistics without touching
+// the hot path.
 type Runtime struct {
 	types    *ctypes.Table
 	mem      *mem.Memory
@@ -59,13 +65,18 @@ type Runtime struct {
 	memo     *checkCache  // §5.3 shared type-check memo cache; nil when disabled
 	inline   *inlineCache // §5.3 per-site inline caches; nil when disabled
 	Reporter *Reporter
-	stats    Stats
+	stats    *Stats
+	reg      *typeRegistry
+}
 
-	// The metadata type registry maps interned types to ids and back.
-	// The hot path (typeByID on every check) is lock-free: ids are read
-	// from an immutable snapshot slice republished on each append, and
-	// idOf is a sync.Map (read-mostly: one insert per distinct type).
-	regMu  sync.Mutex                     // serialises registry appends
+// typeRegistry is the metadata type registry mapping interned types to
+// ids and back. The hot path (typeByID on every check) is lock-free: ids
+// are read from an immutable snapshot slice republished on each append,
+// and idOf is a sync.Map (read-mostly: one insert per distinct type). It
+// lives behind a pointer so Runtime stays shallow-copyable (StatsView)
+// without copying locks.
+type typeRegistry struct {
+	mu     sync.Mutex                     // serialises registry appends
 	idOf   sync.Map                       // *ctypes.Type -> uint64
 	typeOf atomic.Pointer[[]*ctypes.Type] // index = id; id 0 is invalid
 }
@@ -88,11 +99,29 @@ func NewRuntime(opts Options) *Runtime {
 		memo:     newCheckCache(opts.CheckCacheSize),
 		inline:   newInlineCache(opts.NoInlineCache),
 		Reporter: NewReporter(opts.Mode, opts.AbortAfter),
+		stats:    &Stats{},
+		reg:      &typeRegistry{},
 	}
 	reg := []*ctypes.Type{nil, ctypes.Free} // ids 0 (invalid), 1 (FREE)
-	r.typeOf.Store(&reg)
-	r.idOf.Store(ctypes.Free, uint64(freeTypeID))
+	r.reg.typeOf.Store(&reg)
+	r.reg.idOf.Store(ctypes.Free, uint64(freeTypeID))
 	return r
+}
+
+// StatsView returns a view of the runtime that shares every structure —
+// memory, allocator, layout and check caches, type registry, reporter —
+// but sinks its counters into st. The sharded harness gives each worker
+// goroutine its own view, so per-worker numbers come for free while the
+// check path stays contention-free on statistics; aggregate them with
+// StatsSnapshot.Add or fold them back via Runtime.MergeStats. A nil st
+// returns the receiver unchanged.
+func (r *Runtime) StatsView(st *Stats) *Runtime {
+	if st == nil {
+		return r
+	}
+	cp := *r
+	cp.stats = st
+	return &cp
 }
 
 // CheckCacheSlots returns the total slot count of the shared type-check
@@ -118,26 +147,27 @@ func (r *Runtime) Layouts() *layout.Cache { return r.layouts }
 
 // typeID interns t in the metadata type registry.
 func (r *Runtime) typeID(t *ctypes.Type) uint64 {
-	if id, ok := r.idOf.Load(t); ok {
+	g := r.reg
+	if id, ok := g.idOf.Load(t); ok {
 		return id.(uint64)
 	}
-	r.regMu.Lock()
-	defer r.regMu.Unlock()
-	if id, ok := r.idOf.Load(t); ok {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id, ok := g.idOf.Load(t); ok {
 		return id.(uint64)
 	}
-	cur := *r.typeOf.Load()
+	cur := *g.typeOf.Load()
 	id := uint64(len(cur))
 	next := make([]*ctypes.Type, len(cur)+1)
 	copy(next, cur)
 	next[id] = t
-	r.typeOf.Store(&next) // publish the slice before the id becomes findable
-	r.idOf.Store(t, id)
+	g.typeOf.Store(&next) // publish the slice before the id becomes findable
+	g.idOf.Store(t, id)
 	return id
 }
 
 func (r *Runtime) typeByID(id uint64) *ctypes.Type {
-	reg := *r.typeOf.Load()
+	reg := *r.reg.typeOf.Load()
 	if id == 0 || id >= uint64(len(reg)) {
 		return nil
 	}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+// TestConcurrentSiteInlineCache hammers a single check site ID from many
+// goroutines — the per-site inline cache's worst case, every worker
+// racing on one atomic slot — and then rebinds the metadata under the
+// warmed cache. Run under -race it proves three things the sharded
+// harness depends on:
+//
+//  1. the inline hit/miss counters stay consistent with the check count
+//     (every non-early-return check either hits level 2 or falls through
+//     to exactly one level-3 lookup);
+//  2. a free() rebind can never be masked by a stale inline entry: every
+//     post-free check reports use-after-free;
+//  3. a slot-reuse rebind (new allocation over the freed slot) can never
+//     be masked either: every check through the dangling pointer still
+//     reports — the (tid, k, s) key changed, so the warmed entry cannot
+//     validate.
+func TestConcurrentSiteInlineCache(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 500
+		siteID  = 7
+	)
+	tb := ctypes.NewTable()
+	rt := NewRuntime(Options{Types: tb}) // ModeLog: reports are observable
+	T := tb.MustParse("struct Hot { float f; int a[3]; }")
+	p, err := rt.New(T, HeapAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p + 4 // &Hot.a[0]: a sub-object, so the check consults the caches
+
+	hammer := func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					rt.TypeCheckAt(q, ctypes.Int, siteID, "site-stress")
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: valid object, one contended site.
+	hammer()
+	const total = workers * rounds
+	st := rt.Stats()
+	if st.TypeChecks != total {
+		t.Fatalf("TypeChecks = %d, want %d", st.TypeChecks, total)
+	}
+	if st.CheckFastPath != 0 {
+		t.Fatalf("fast path took %d checks; the sub-object offset must bypass it", st.CheckFastPath)
+	}
+	if got := st.InlineCacheHits + st.InlineCacheMisses; got != total {
+		t.Fatalf("inline traffic %d, want %d (hits %d, misses %d)",
+			got, total, st.InlineCacheHits, st.InlineCacheMisses)
+	}
+	// Every inline miss falls through to exactly one shared-cache lookup.
+	if got := st.CheckCacheHits + st.CheckCacheMisses; got != st.InlineCacheMisses {
+		t.Fatalf("shared traffic %d, want %d (inline misses)", got, st.InlineCacheMisses)
+	}
+	// Misses at both levels are the only path to the layout table.
+	if st.LayoutMatches != st.CheckCacheMisses {
+		t.Fatalf("layout matches %d, want %d", st.LayoutMatches, st.CheckCacheMisses)
+	}
+	if st.InlineCacheHits == 0 {
+		t.Fatal("no inline hits on a single-site hammer; cache inert?")
+	}
+	if rt.Reporter.Total() != 0 {
+		t.Fatalf("valid object reported errors: %s", rt.Reporter.Log())
+	}
+
+	// Phase 2: rebind to FREE under the warmed cache. Every check must
+	// report use-after-free — a stale inline hit would return silently.
+	rt.TypeFree(p, "site-stress-free")
+	hammer()
+	if got := rt.Reporter.Total(); got != total {
+		t.Fatalf("post-free reports = %d, want %d (stale cache hit swallowed %d checks)",
+			got, total, total-int(got))
+	}
+	if got := rt.Reporter.NumIssues(); got != 1 {
+		t.Fatalf("post-free distinct issues = %d, want 1:\n%s", got, rt.Reporter.Log())
+	}
+
+	// Phase 3: rebind by reuse. A new allocation takes over the slot (no
+	// quarantine, so the allocator reuses it immediately); checks through
+	// the dangling pointer must keep reporting — either use-after-free
+	// (slot still FREE) or type confusion (slot rebound to Cold, whose
+	// offset 4 is the middle of a double) — never succeed silently.
+	U := tb.MustParse("struct Cold { double d; long l; }")
+	u, err := rt.New(U, HeapAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := rt.Reporter.Total()
+	hammer()
+	if got := rt.Reporter.Total() - before; got != total {
+		t.Fatalf("post-reuse reports = %d, want %d (stale cache hit survived the rebind)",
+			got, total)
+	}
+	if u == p {
+		// The rebind actually reused the slot, so the dangling checks saw
+		// Cold: the report must be a type error, not use-after-free.
+		byKind := rt.Reporter.IssuesByKind()
+		if byKind[TypeError] == 0 {
+			t.Fatalf("slot reused as Cold but no type error reported:\n%s", rt.Reporter.Log())
+		}
+	}
+
+	// Counter bookkeeping still closes after both rebinds: early-return
+	// paths (FREE) add no cache traffic, resolved paths add exactly one
+	// level's worth.
+	st = rt.Stats()
+	if got := st.CheckCacheHits + st.CheckCacheMisses; got != st.InlineCacheMisses {
+		t.Fatalf("shared traffic %d, want %d (inline misses) after rebinds",
+			got, st.InlineCacheMisses)
+	}
+}

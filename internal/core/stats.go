@@ -4,8 +4,15 @@ import "sync/atomic"
 
 // Stats holds the runtime's check counters, the quantities reported in
 // Fig. 7 (#Type, #Bound) and the legacy-pointer coverage ratio (§6.1).
-// All fields are updated atomically; read a plain-value copy via
-// Runtime.Stats, which returns a StatsSnapshot.
+// All fields are updated atomically, so one Stats may be written from
+// many goroutines; read a plain-value copy via Snapshot (or
+// Runtime.Stats), which returns a StatsSnapshot.
+//
+// A Runtime owns one Stats sink, but sharded multi-threaded runs give
+// each worker its own sink through Runtime.StatsView so per-worker and
+// aggregate numbers are both available: snapshot each worker's Stats,
+// combine with StatsSnapshot.Add, and fold the total back into the base
+// runtime with Runtime.MergeStats.
 type Stats struct {
 	TypeChecks       atomic.Uint64
 	NullTypeChecks   atomic.Uint64
@@ -61,29 +68,92 @@ type StatsSnapshot struct {
 	LegacyFrees  uint64
 }
 
-// Stats returns a snapshot of the runtime's counters.
-func (r *Runtime) Stats() StatsSnapshot {
-	return StatsSnapshot{
-		TypeChecks:        r.stats.TypeChecks.Load(),
-		NullTypeChecks:    r.stats.NullTypeChecks.Load(),
-		LegacyTypeChecks:  r.stats.LegacyTypeChecks.Load(),
-		BoundsChecks:      r.stats.BoundsChecks.Load(),
-		BoundsGets:        r.stats.BoundsGets.Load(),
-		BoundsNarrows:     r.stats.BoundsNarrows.Load(),
-		CharCoercions:     r.stats.CharCoercions.Load(),
-		VoidPtrCoercions:  r.stats.VoidPtrCoercions.Load(),
-		CheckFastPath:     r.stats.CheckFastPath.Load(),
-		InlineCacheHits:   r.stats.InlineCacheHits.Load(),
-		InlineCacheMisses: r.stats.InlineCacheMisses.Load(),
-		CheckCacheHits:    r.stats.CheckCacheHits.Load(),
-		CheckCacheMisses:  r.stats.CheckCacheMisses.Load(),
-		LayoutMatches:     r.stats.LayoutMatches.Load(),
-		HeapAllocs:        r.stats.HeapAllocs.Load(),
-		StackAllocs:       r.stats.StackAllocs.Load(),
-		GlobalAllocs:      r.stats.GlobalAllocs.Load(),
-		Frees:             r.stats.Frees.Load(),
-		LegacyFrees:       r.stats.LegacyFrees.Load(),
+// counters lists every counter in canonical order — the single source of
+// truth shared by Snapshot, Merge and the StatsSnapshot arithmetic. A
+// new counter is added here and in fields, in the same position
+// (TestStatsFieldParity enforces the pairing).
+func (s *Stats) counters() []*atomic.Uint64 {
+	return []*atomic.Uint64{
+		&s.TypeChecks, &s.NullTypeChecks, &s.LegacyTypeChecks,
+		&s.BoundsChecks, &s.BoundsGets, &s.BoundsNarrows,
+		&s.CharCoercions, &s.VoidPtrCoercions,
+		&s.CheckFastPath, &s.InlineCacheHits, &s.InlineCacheMisses,
+		&s.CheckCacheHits, &s.CheckCacheMisses, &s.LayoutMatches,
+		&s.HeapAllocs, &s.StackAllocs, &s.GlobalAllocs,
+		&s.Frees, &s.LegacyFrees,
 	}
+}
+
+// fields lists every snapshot field in the same canonical order as
+// Stats.counters.
+func (v *StatsSnapshot) fields() []*uint64 {
+	return []*uint64{
+		&v.TypeChecks, &v.NullTypeChecks, &v.LegacyTypeChecks,
+		&v.BoundsChecks, &v.BoundsGets, &v.BoundsNarrows,
+		&v.CharCoercions, &v.VoidPtrCoercions,
+		&v.CheckFastPath, &v.InlineCacheHits, &v.InlineCacheMisses,
+		&v.CheckCacheHits, &v.CheckCacheMisses, &v.LayoutMatches,
+		&v.HeapAllocs, &v.StackAllocs, &v.GlobalAllocs,
+		&v.Frees, &v.LegacyFrees,
+	}
+}
+
+// Snapshot returns a plain-value copy of the counters. Each counter is
+// loaded atomically; under concurrent writers the snapshot is not a
+// single point-in-time cut across counters, which is the usual (and
+// sufficient) semantics for monotone statistics.
+func (s *Stats) Snapshot() StatsSnapshot {
+	var v StatsSnapshot
+	f := v.fields()
+	for i, c := range s.counters() {
+		*f[i] = c.Load()
+	}
+	return v
+}
+
+// Merge atomically folds every counter of d into s. The sharded harness
+// uses it to accumulate per-worker snapshots into the base runtime's
+// sink, so aggregate numbers remain readable from the Runtime itself.
+func (s *Stats) Merge(d StatsSnapshot) {
+	f := d.fields()
+	for i, c := range s.counters() {
+		if n := *f[i]; n != 0 {
+			c.Add(n)
+		}
+	}
+}
+
+// Add returns the field-wise sum of two snapshots (aggregating
+// per-worker numbers).
+func (a StatsSnapshot) Add(b StatsSnapshot) StatsSnapshot {
+	af, bf := a.fields(), b.fields()
+	for i := range af {
+		*af[i] += *bf[i]
+	}
+	return a
+}
+
+// Sub returns the field-wise difference a-b — the delta between two
+// snapshots of the same Stats taken at different times.
+func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
+	af, bf := a.fields(), b.fields()
+	for i := range af {
+		*af[i] -= *bf[i]
+	}
+	return a
+}
+
+// Stats returns a snapshot of the runtime's counter sink. For a view
+// returned by StatsView this is the view's own sink, not the base
+// runtime's.
+func (r *Runtime) Stats() StatsSnapshot {
+	return r.stats.Snapshot()
+}
+
+// MergeStats atomically folds a snapshot into the runtime's counter sink
+// (see Stats.Merge).
+func (r *Runtime) MergeStats(d StatsSnapshot) {
+	r.stats.Merge(d)
 }
 
 // CheckCacheHitRate returns the fraction of shared check-cache lookups

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+// TestStatsFieldParity pins the canonical counter order: Stats.counters
+// and StatsSnapshot.fields must enumerate every struct field, in struct
+// order, so Snapshot/Merge/Add/Sub stay in sync when a counter is added.
+func TestStatsFieldParity(t *testing.T) {
+	var s Stats
+	cs := s.counters()
+	sv := reflect.ValueOf(&s).Elem()
+	if sv.NumField() != len(cs) {
+		t.Fatalf("Stats has %d fields, counters() lists %d", sv.NumField(), len(cs))
+	}
+	for i := 0; i < sv.NumField(); i++ {
+		if sv.Field(i).Addr().Pointer() != reflect.ValueOf(cs[i]).Pointer() {
+			t.Errorf("counters()[%d] is not field %s", i, sv.Type().Field(i).Name)
+		}
+	}
+
+	var v StatsSnapshot
+	fs := v.fields()
+	vv := reflect.ValueOf(&v).Elem()
+	if vv.NumField() != len(fs) {
+		t.Fatalf("StatsSnapshot has %d fields, fields() lists %d", vv.NumField(), len(fs))
+	}
+	for i := 0; i < vv.NumField(); i++ {
+		if vv.Field(i).Addr().Pointer() != reflect.ValueOf(fs[i]).Pointer() {
+			t.Errorf("fields()[%d] is not field %s", i, vv.Type().Field(i).Name)
+		}
+		// The two structs must declare the same counters under the same
+		// names in the same order.
+		if sn, vn := sv.Type().Field(i).Name, vv.Type().Field(i).Name; sn != vn {
+			t.Errorf("field %d: Stats.%s vs StatsSnapshot.%s", i, sn, vn)
+		}
+	}
+}
+
+// TestStatsMergeArithmetic exercises Snapshot, Merge and the snapshot
+// Add/Sub arithmetic the sharded harness aggregates with.
+func TestStatsMergeArithmetic(t *testing.T) {
+	var s Stats
+	s.TypeChecks.Add(7)
+	s.BoundsChecks.Add(3)
+	s.LayoutMatches.Add(1)
+
+	snap := s.Snapshot()
+	if snap.TypeChecks != 7 || snap.BoundsChecks != 3 || snap.LayoutMatches != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	var agg Stats
+	agg.Merge(snap)
+	agg.Merge(snap)
+	if got := agg.Snapshot().TypeChecks; got != 14 {
+		t.Fatalf("merged TypeChecks = %d, want 14", got)
+	}
+
+	sum := snap.Add(snap)
+	if sum.TypeChecks != 14 || sum.BoundsChecks != 6 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if snap.TypeChecks != 7 {
+		t.Fatalf("Add mutated its receiver: %+v", snap)
+	}
+	delta := sum.Sub(snap)
+	if delta != snap {
+		t.Fatalf("Sub: %+v, want %+v", delta, snap)
+	}
+}
+
+// TestStatsView asserts the per-worker view semantics: a view sinks
+// counters into its own Stats while sharing every runtime structure with
+// the base — the caches a view warms serve the base (and vice versa).
+func TestStatsView(t *testing.T) {
+	tb := ctypes.NewTable()
+	rt := NewRuntime(Options{Types: tb, Mode: ModeCount})
+	T := tb.MustParse("struct SV { float f; int a[3]; }")
+	p, err := rt.New(T, HeapAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ws Stats
+	view := rt.StatsView(&ws)
+	if view == rt {
+		t.Fatal("StatsView returned the base runtime")
+	}
+	if rt.StatsView(nil) != rt {
+		t.Fatal("StatsView(nil) should be the identity")
+	}
+
+	const n = 5
+	const siteID = 3
+	for i := 0; i < n; i++ {
+		view.TypeCheckAt(p+4, ctypes.Int, siteID, "view") // sub-object: consults the caches
+	}
+	if got := rt.Stats().TypeChecks; got != 0 {
+		t.Fatalf("base sink saw %d checks; view should have absorbed them", got)
+	}
+	vs := ws.Snapshot()
+	if vs.TypeChecks != n {
+		t.Fatalf("view sink TypeChecks = %d, want %d", vs.TypeChecks, n)
+	}
+	if vs.InlineCacheHits+vs.InlineCacheMisses != n {
+		t.Fatalf("inline traffic %d+%d, want %d", vs.InlineCacheHits, vs.InlineCacheMisses, n)
+	}
+
+	// The caches are shared: the base runtime's first check of the same
+	// site must hit the inline entry the view populated.
+	rt.TypeCheckAt(p+4, ctypes.Int, siteID, "base")
+	bs := rt.Stats()
+	if bs.InlineCacheHits != 1 || bs.InlineCacheMisses != 0 {
+		t.Fatalf("base inline hits/misses = %d/%d, want 1/0 (cache not shared?)",
+			bs.InlineCacheHits, bs.InlineCacheMisses)
+	}
+
+	// MergeStats folds the worker numbers back into the base sink.
+	rt.MergeStats(vs)
+	if got := rt.Stats().TypeChecks; got != n+1 {
+		t.Fatalf("after merge, base TypeChecks = %d, want %d", got, n+1)
+	}
+	if rt.Reporter.Total() != 0 {
+		t.Fatalf("unexpected reports: %s", rt.Reporter.Log())
+	}
+}

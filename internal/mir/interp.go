@@ -26,6 +26,11 @@ type Options struct {
 	// MaxSteps bounds the instructions executed per Run (a runaway-loop
 	// backstop). Defaults to 2^33.
 	MaxSteps uint64
+	// NoValidate skips program validation. Validation is O(program) and
+	// a program never changes once built, so worker pools that stamp out
+	// one interpreter per goroutine over the same program (the sharded
+	// SPEC harness) validate the first and skip the rest.
+	NoValidate bool
 }
 
 // Interp executes a MIR program. A single Interp may execute multiple
@@ -47,8 +52,10 @@ type Interp struct {
 
 // New validates the program and returns an interpreter for it.
 func New(p *Program, opts Options) (*Interp, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+	if !opts.NoValidate {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Env == nil {
 		return nil, fmt.Errorf("mir: Options.Env is required")

@@ -1,0 +1,200 @@
+package sanitizers
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/mir"
+)
+
+// This file is the sharded multi-threaded execution mode behind the
+// Fig. 10 scalability curve (§6.1): a worker pool that partitions a
+// workload's job corpus across N goroutines, each driving its own MIR
+// interpreter against one shared core.Runtime. The shared runtime is the
+// point — the workers contend on the real structures (sharded check
+// cache, COW layout cache, type registry, per-site inline caches,
+// allocator) the way a production multi-tenant service would, while
+// statistics stay per-worker through Runtime.StatsView.
+
+// WorkerStats reports one worker goroutine's share of a sharded run.
+type WorkerStats struct {
+	Worker int                `json:"worker"` // worker index, 0-based
+	Jobs   int                `json:"jobs"`   // jobs this worker completed
+	BusyNs int64              `json:"busy_ns"`
+	Stats  core.StatsSnapshot `json:"-"` // this worker's runtime counters
+}
+
+// Busy is the time the worker spent executing jobs (including idle tail
+// waiting for nothing: the pool is work-stealing via a shared queue, so
+// busy ≈ lifetime of the worker's loop).
+func (w WorkerStats) Busy() time.Duration { return time.Duration(w.BusyNs) }
+
+// ShardedResult reports one ExecSharded run.
+type ShardedResult struct {
+	Threads int
+	Jobs    int
+	Wall    time.Duration // wall-clock for the whole pool
+	Value   uint64        // entry result of job 0
+	Workers []WorkerStats
+	// Stats is the aggregate across workers (field-wise sum of the
+	// per-worker snapshots; also folded into the runtime's own sink).
+	Stats    core.StatsSnapshot
+	Reporter *core.Reporter
+	HeapPeak uint64 // peak live heap bytes of the shared allocator
+	MemPages int64  // simulated memory materialised (bytes)
+}
+
+// TotalBusy sums the workers' busy time — the CPU-time analogue used for
+// per-check cost under contention.
+func (r *ShardedResult) TotalBusy() time.Duration {
+	var d time.Duration
+	for _, w := range r.Workers {
+		d += w.Busy()
+	}
+	return d
+}
+
+// ExecSharded runs `jobs` executions of prog's entry function on a pool
+// of `threads` worker goroutines sharing one environment. EffectiveSan
+// variants share a single core.Runtime (one allocator, one reporter, one
+// set of caches) with a per-worker statistics view; the uninstrumented
+// baseline shares a single plain environment. Hook-based baseline
+// sanitizers are not supported (their shadow state is not thread-safe,
+// the same reason the real tools cannot run Firefox, §6.3).
+//
+// Jobs are handed out from a shared atomic queue, so workers that finish
+// early steal the remainder; each worker runs its own interpreter (its
+// own globals and registers) over the shared memory, like independent
+// browser sessions above one runtime.
+func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, out io.Writer) (*ShardedResult, error) {
+	if t.MakeSan != nil {
+		return nil, fmt.Errorf("sanitizers: %s is a hook-based baseline; sharded execution supports only the EffectiveSan variants and the uninstrumented baseline", t.Name)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if jobs < 1 {
+		jobs = threads
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	if out != io.Discard && threads > 1 {
+		out = &lockedWriter{w: out}
+	}
+
+	res := &ShardedResult{Threads: threads, Jobs: jobs, Workers: make([]WorkerStats, threads)}
+
+	// Build the shared substrate once: instrumented program + runtime
+	// for EffectiveSan variants, a bare low-fat heap for the baseline.
+	var (
+		rt    *core.Runtime
+		plain *mir.PlainEnv
+		runee = prog
+	)
+	if t.Variant == instrument.None {
+		plain = mir.NewPlainEnv(nil)
+		res.Reporter = core.NewReporter(core.ModeLog, 0)
+	} else {
+		runee, _ = instrument.Instrument(prog, instrument.Options{
+			Variant: t.Variant, NoOptimize: t.NoOptimize,
+			NoCrossBlockElision: t.NoCrossBlockElision,
+		})
+		rt = core.NewRuntime(core.Options{
+			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,
+			CheckCacheSize: t.CheckCache, NoInlineCache: t.NoInlineCache,
+		})
+		res.Reporter = rt.Reporter
+	}
+	if err := runee.Validate(); err != nil {
+		return nil, err
+	}
+
+	var (
+		next     atomic.Int64
+		value    atomic.Uint64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &res.Workers[w]
+			ws.Worker = w
+			var env mir.Env
+			var sink *core.Stats
+			if rt != nil {
+				sink = &core.Stats{}
+				env = mir.NewEffEnv(rt.StatsView(sink))
+			} else {
+				env = plain
+			}
+			in, err := mir.New(runee, mir.Options{Env: env, Out: out, NoValidate: true})
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			begin := time.Now()
+			for {
+				j := next.Add(1) - 1
+				if j >= int64(jobs) {
+					break
+				}
+				v, err := in.Run(entry)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("worker %d job %d: %w", w, j, err) })
+					break
+				}
+				if j == 0 {
+					value.Store(v)
+				}
+				ws.Jobs++
+			}
+			ws.BusyNs = time.Since(begin).Nanoseconds()
+			if sink != nil {
+				ws.Stats = sink.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Value = value.Load()
+	for i := range res.Workers {
+		res.Stats = res.Stats.Add(res.Workers[i].Stats)
+	}
+	if rt != nil {
+		// Fold the aggregate back so the runtime's own sink reports the
+		// whole run (views write past it during execution).
+		rt.MergeStats(res.Stats)
+		res.HeapPeak = rt.Heap().Stats().Peak
+		res.MemPages = rt.Mem().TouchedBytes()
+	} else {
+		res.HeapPeak = plain.Heap().Stats().Peak
+		res.MemPages = plain.Mem().TouchedBytes()
+	}
+	return res, nil
+}
+
+// lockedWriter serialises worker output when a sharded run is given a
+// real writer (interleaved OpPuts lines stay whole).
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

@@ -1,6 +1,7 @@
 package sanitizers
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -40,6 +41,12 @@ type Tool struct {
 	// (the "per-block" Fig. 8 ablation) —
 	// instrument.Options.NoCrossBlockElision.
 	NoCrossBlockElision bool
+	// Threads > 1 makes Exec run the entry once per worker goroutine
+	// against one shared runtime (the §6.1 multi-threaded mode; see
+	// ExecSharded for the pool semantics). 0 and 1 both mean the classic
+	// single-threaded Exec. Only EffectiveSan variants and the
+	// uninstrumented baseline support it.
+	Threads int
 }
 
 // Counting returns a copy of the tool with the reporter in counting mode.
@@ -93,6 +100,14 @@ func (t *Tool) Named(name string) *Tool {
 	return &cp
 }
 
+// Threaded returns a copy of the tool that executes on n worker
+// goroutines sharing one runtime (the cmd/effbench -threads flag).
+func (t *Tool) Threaded(n int) *Tool {
+	cp := *t
+	cp.Threads = n
+	return &cp
+}
+
 // RunResult reports one Exec.
 type RunResult struct {
 	Value    uint64
@@ -101,12 +116,31 @@ type RunResult struct {
 	Elapsed  time.Duration
 	HeapPeak uint64 // peak live heap bytes
 	MemPages int64  // simulated memory materialised (bytes)
+	// Workers carries the per-worker breakdown when Threads > 1 routed
+	// the run through the sharded pool (nil for single-threaded runs).
+	Workers []WorkerStats
 }
 
 // Exec runs prog's entry function under the tool and returns the result.
 // The program must be uninstrumented; EffectiveSan variants instrument a
-// copy internally.
+// copy internally. With Threads > 1 the entry runs once per worker
+// goroutine over one shared runtime (args are not supported in that
+// mode) and Stats is the aggregate across workers.
 func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint64) (*RunResult, error) {
+	if t.Threads > 1 {
+		if len(args) > 0 {
+			return nil, fmt.Errorf("sanitizers: %s: Exec args are not supported with Threads > 1", t.Name)
+		}
+		sr, err := t.ExecSharded(prog, entry, t.Threads, t.Threads, out)
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{
+			Value: sr.Value, Reporter: sr.Reporter, Stats: sr.Stats,
+			Elapsed: sr.Wall, HeapPeak: sr.HeapPeak, MemPages: sr.MemPages,
+			Workers: sr.Workers,
+		}, nil
+	}
 	res := &RunResult{}
 	var in *mir.Interp
 	var err error
