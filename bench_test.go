@@ -54,7 +54,7 @@ func BenchmarkFig8Timings(b *testing.B) {
 		entry string
 	}
 	var progs []prepared
-	for _, w := range spec.Benchmarks() {
+	for _, w := range append(spec.Benchmarks(), spec.Synthetic()...) {
 		p, err := w.Program()
 		if err != nil {
 			b.Fatal(err)
@@ -62,9 +62,9 @@ func BenchmarkFig8Timings(b *testing.B) {
 		progs = append(progs, prepared{w.Name, p, w.Entry})
 	}
 	// The paper's Fig. 8 bars plus the §5.3/§6.2 ablations (no caching at
-	// all, no per-site inline caches, per-block-only elision, no
-	// instrumentation optimisations) — the same eight bars harness.Fig8
-	// renders, from the same source.
+	// all, no per-site inline caches, per-block-only elision,
+	// dominator-tree-only elision, no instrumentation optimisations) —
+	// the same nine bars harness.Fig8 renders, from the same source.
 	for _, cfg := range harness.Fig8Tools() {
 		b.Run(cfg.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -87,10 +87,14 @@ func TestFig8Ordering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// All eight bars must be present with positive timings.
+	// All nine bars must be present with positive timings, on the 19
+	// SPEC rows and the two synthetic progen rows.
 	wantBars := []string{"Uninstrumented", "EffectiveSan", "EffectiveSan-noopt",
 		"EffectiveSan-nocache", "EffectiveSan-noinline", "EffectiveSan-perblock",
-		"EffectiveSan-bounds", "EffectiveSan-type"}
+		"EffectiveSan-domtree", "EffectiveSan-bounds", "EffectiveSan-type"}
+	if len(rows) != 21 {
+		t.Fatalf("%d rows, want 21 (19 SPEC + 2 progen)", len(rows))
+	}
 	for _, r := range rows {
 		if len(r.Seconds) != len(wantBars) {
 			t.Fatalf("%s: %d bars, want %d: %v", r.Name, len(r.Seconds), len(wantBars), r.Seconds)

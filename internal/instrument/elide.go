@@ -8,13 +8,21 @@ import (
 )
 
 // The §5.3 check-elision pass. The paper's optimiser runs on LLVM IR
-// with full CFG visibility; this file gives the MIR pass the same view:
-// instead of reusing checks within one basic block only, it walks the
-// dominator tree (mir.CFG, Cooper-Harvey-Kennedy dominators) carrying
-// the set of checks known to have executed on every path to the current
-// block. A check at site S is elided when an identical check on the same
-// provenance dominates S and nothing on any path between the two can
-// invalidate it.
+// with full CFG visibility; this file gives the MIR pass the same view.
+// Three implementations share one fact engine (elideState.step):
+//
+//   - the default PATH-SENSITIVE pass: a per-fact available-check
+//     dataflow over mir.CFG (mir.SolveForward) — a check is elided when
+//     the same fact is available on EVERY incoming path, so a diamond
+//     whose arms both establish a fact keeps it at the join;
+//   - the DOMINATOR-TREE pass (Options.DomTreeElision, the PR-2
+//     behaviour, kept as an ablation): a block inherits its immediate
+//     dominator's end-of-block facts filtered by whole-block effect
+//     summaries of everything that can execute in between — facts
+//     established on both arms of a diamond but not before it are lost
+//     at the join, the precision gap the dataflow pass closes;
+//   - the BLOCK-LOCAL pass (Options.NoCrossBlockElision): no facts
+//     cross block boundaries at all.
 //
 // Three kinds of facts are tracked per register:
 //
@@ -31,16 +39,15 @@ import (
 // check would report — so they are barriers that clear every lastType
 // fact. Bounds facts survive barriers because bounds_check never
 // consults metadata: it compares the pointer against the bounds register
-// file, which deallocation does not rewrite. When a fact crosses a block
-// boundary, the pass additionally filters it against every block that
-// can execute between the dominating check and the reuse site
-// (mir.CFG.Between): a kill or barrier on any such path invalidates the
-// fact, so a use-after-free on one arm of a branch is still re-checked
-// and reported at the join.
+// file, which deallocation does not rewrite. In both cross-block passes
+// a kill or barrier on any path into a block invalidates the fact there,
+// so a use-after-free on one arm of a branch is still re-checked and
+// reported at the join.
 
 // sizeFact and typeFact carry a fact plus whether it was inherited from
-// a dominating block (inherited elisions are the cross-block wins the
-// per-block pass cannot see).
+// another block (inherited elisions are the cross-block wins the
+// per-block pass cannot see). The inherited flag is attribution
+// metadata only: the dataflow meet and equality ignore it.
 type sizeFact struct {
 	v         int64
 	inherited bool
@@ -66,8 +73,23 @@ func newElideState() *elideState {
 	}
 }
 
+// clone deep-copies the state, preserving inheritance flags.
+func (s *elideState) clone() *elideState {
+	n := newElideState()
+	for r, f := range s.checkedBy {
+		n.checkedBy[r] = f
+	}
+	for r, f := range s.lastNarrow {
+		n.lastNarrow[r] = f
+	}
+	for r, f := range s.lastType {
+		n.lastType[r] = f
+	}
+	return n
+}
+
 // inherit deep-copies the state, marking every fact as inherited — it
-// now describes a dominating block rather than the current one.
+// now describes another block rather than the current one.
 func (s *elideState) inherit() *elideState {
 	n := newElideState()
 	for r, f := range s.checkedBy {
@@ -106,9 +128,145 @@ func (s *elideState) propagate(dst, src int) {
 	}
 }
 
+// meetStates intersects two fact states — the join-point lattice
+// operation of the available-check dataflow. A fact survives only when
+// both paths guarantee it: bounds-checked sizes meet to the smaller
+// size, narrow extents and checked types must agree exactly. Neither
+// input is mutated (mir.ForwardProblem contract).
+func meetStates(a, b *elideState) *elideState {
+	n := newElideState()
+	for r, fa := range a.checkedBy {
+		if fb, ok := b.checkedBy[r]; ok {
+			if fb.v < fa.v {
+				fa.v = fb.v
+			}
+			fa.inherited = fa.inherited || fb.inherited
+			n.checkedBy[r] = fa
+		}
+	}
+	for r, fa := range a.lastNarrow {
+		if fb, ok := b.lastNarrow[r]; ok && fb.v == fa.v {
+			fa.inherited = fa.inherited || fb.inherited
+			n.lastNarrow[r] = fa
+		}
+	}
+	for r, fa := range a.lastType {
+		if fb, ok := b.lastType[r]; ok && fb.t == fa.t {
+			fa.inherited = fa.inherited || fb.inherited
+			n.lastType[r] = fa
+		}
+	}
+	return n
+}
+
+// statesEqual compares the fact content of two states, ignoring the
+// inheritance flags (they are attribution metadata, not lattice
+// values, and are uniformly unset while the dataflow iterates).
+func statesEqual(a, b *elideState) bool {
+	if len(a.checkedBy) != len(b.checkedBy) ||
+		len(a.lastNarrow) != len(b.lastNarrow) ||
+		len(a.lastType) != len(b.lastType) {
+		return false
+	}
+	for r, f := range a.checkedBy {
+		if g, ok := b.checkedBy[r]; !ok || g.v != f.v {
+			return false
+		}
+	}
+	for r, f := range a.lastNarrow {
+		if g, ok := b.lastNarrow[r]; !ok || g.v != f.v {
+			return false
+		}
+	}
+	for r, f := range a.lastType {
+		if g, ok := b.lastType[r]; !ok || g.t != f.t {
+			return false
+		}
+	}
+	return true
+}
+
+// elisionKind classifies what a removed check was (which Stats counter
+// it belongs to); elideNone means the instruction must be kept.
+type elisionKind uint8
+
+const (
+	elideNone elisionKind = iota
+	elideSubsume
+	elideNarrow
+	elideRecheck
+)
+
+// step advances the state over one instruction and returns the elision
+// decision for it: the counter the removed check belongs to (elideNone
+// when it must be kept) and whether the justifying fact was inherited
+// from another block. The state is updated to reflect the decision —
+// an elided check leaves the facts untouched (it will not execute), a
+// kept one applies its effects. This single function is the transfer
+// semantics shared by all three pass implementations AND the dataflow
+// fixpoint, so the rewrite can never disagree with the solution.
+func (s *elideState) step(ins *mir.Instr, reuse bool) (elisionKind, bool) {
+	switch ins.Op {
+	case mir.OpBoundsCheck:
+		if ins.B == -1 {
+			if f, ok := s.checkedBy[ins.A]; ok && f.v >= ins.Aux {
+				return elideSubsume, f.inherited
+			}
+			s.checkedBy[ins.A] = sizeFact{v: ins.Aux}
+		}
+	case mir.OpBoundsNarrow:
+		if f, ok := s.lastNarrow[ins.A]; ok && f.v == ins.Aux {
+			return elideNarrow, f.inherited
+		}
+		s.lastNarrow[ins.A] = sizeFact{v: ins.Aux}
+		delete(s.checkedBy, ins.A) // narrower bounds: recheck
+		delete(s.lastType, ins.A)  // narrowed bounds differ from a fresh check's
+	case mir.OpTypeCheck:
+		if reuse {
+			if f, ok := s.lastType[ins.A]; ok && f.t == ins.Type {
+				return elideRecheck, f.inherited
+			}
+		}
+		s.invalidate(ins.A)
+		if reuse {
+			s.lastType[ins.A] = typeFact{t: ins.Type}
+		}
+	case mir.OpBoundsGet:
+		s.invalidate(ins.A)
+	case mir.OpMov:
+		s.propagate(ins.Dst, ins.A)
+	case mir.OpCast:
+		if ins.Type.Kind == ctypes.KindPointer && ins.CastFrom != nil &&
+			ins.CastFrom.Kind == ctypes.KindPointer && ins.CastFrom.Elem == ins.Type.Elem {
+			s.propagate(ins.Dst, ins.A)
+		} else {
+			s.invalidate(ins.Dst)
+		}
+	case mir.OpFree, mir.OpRealloc, mir.OpCall:
+		// Deallocation (or a call that may deallocate) can rebind
+		// metadata to FREE: forget every remembered type check.
+		clear(s.lastType)
+		_, defs := ins.Regs()
+		for _, d := range defs {
+			if d >= 0 {
+				s.invalidate(d)
+			}
+		}
+	default:
+		_, defs := ins.Regs()
+		for _, d := range defs {
+			if d >= 0 {
+				s.invalidate(d)
+			}
+		}
+	}
+	return elideNone, false
+}
+
 // blockEffects summarises what a block can do to facts flowing past it:
 // the registers whose facts it may change, and whether it contains a
-// deallocation barrier.
+// deallocation barrier. Used only by the dominator-tree ablation; the
+// dataflow pass applies step per instruction instead.
 type blockEffects struct {
 	killed  map[int]bool
 	barrier bool
@@ -147,126 +305,176 @@ func (s *elideState) apply(eff blockEffects) {
 	}
 }
 
-// elideBlock rewrites one block's instructions against the incoming fact
-// state, mutating state to the block's end-of-block facts. reuseChecks
-// gates the §5.3 type-check reuse specifically (Options.NoCheckReuse).
-func elideBlock(instrs []mir.Instr, s *elideState, st *Stats, reuseChecks bool) []mir.Instr {
-	crossBlock := func(inherited bool) {
-		if inherited {
-			st.ElidedCrossBlock++
-		}
-	}
+// elideBlock rewrites one block's instructions against the incoming
+// fact state, mutating state to the block's end-of-block facts.
+// reuseChecks gates the §5.3 type-check reuse specifically
+// (Options.NoCheckReuse). cross is the counter charged for elisions
+// justified by inherited facts — Stats.ElidedCrossBlock under the
+// dominator walk, Stats.ElidedPathSensitive under the dataflow pass,
+// nil for the block-local ablation (which can never inherit); the two
+// cross-block counters therefore partition removed checks and never
+// both count one.
+func elideBlock(instrs []mir.Instr, s *elideState, st *Stats, reuseChecks bool, cross *int) []mir.Instr {
 	var out []mir.Instr
-	for _, ins := range instrs {
-		switch ins.Op {
-		case mir.OpBoundsCheck:
-			if ins.B == -1 {
-				if f, ok := s.checkedBy[ins.A]; ok && f.v >= ins.Aux {
-					st.ElidedSubsume++
-					crossBlock(f.inherited)
-					continue
-				}
-				s.checkedBy[ins.A] = sizeFact{v: ins.Aux}
-			}
-		case mir.OpBoundsNarrow:
-			if f, ok := s.lastNarrow[ins.A]; ok && f.v == ins.Aux {
-				st.ElidedNarrows++
-				crossBlock(f.inherited)
-				continue
-			}
-			s.lastNarrow[ins.A] = sizeFact{v: ins.Aux}
-			delete(s.checkedBy, ins.A) // narrower bounds: recheck
-			delete(s.lastType, ins.A)  // narrowed bounds differ from a fresh check's
-		case mir.OpTypeCheck:
-			if reuseChecks {
-				if f, ok := s.lastType[ins.A]; ok && f.t == ins.Type {
-					st.ElidedRechecks++
-					crossBlock(f.inherited)
-					continue
-				}
-			}
-			s.invalidate(ins.A)
-			if reuseChecks {
-				s.lastType[ins.A] = typeFact{t: ins.Type}
-			}
-		case mir.OpBoundsGet:
-			s.invalidate(ins.A)
-		case mir.OpMov:
-			s.propagate(ins.Dst, ins.A)
-		case mir.OpCast:
-			if ins.Type.Kind == ctypes.KindPointer && ins.CastFrom != nil &&
-				ins.CastFrom.Kind == ctypes.KindPointer && ins.CastFrom.Elem == ins.Type.Elem {
-				s.propagate(ins.Dst, ins.A)
-			} else {
-				s.invalidate(ins.Dst)
-			}
-		case mir.OpFree, mir.OpRealloc, mir.OpCall:
-			// Deallocation (or a call that may deallocate) can rebind
-			// metadata to FREE: forget every remembered type check.
-			clear(s.lastType)
-			_, defs := ins.Regs()
-			for _, d := range defs {
-				if d >= 0 {
-					s.invalidate(d)
-				}
-			}
-		default:
-			_, defs := ins.Regs()
-			for _, d := range defs {
-				if d >= 0 {
-					s.invalidate(d)
-				}
-			}
+	for i := range instrs {
+		kind, inherited := s.step(&instrs[i], reuseChecks)
+		if kind == elideNone {
+			out = append(out, instrs[i])
+			continue
 		}
-		out = append(out, ins)
+		switch kind {
+		case elideSubsume:
+			st.ElidedSubsume++
+		case elideNarrow:
+			st.ElidedNarrows++
+		case elideRecheck:
+			st.ElidedRechecks++
+		}
+		if inherited && cross != nil {
+			*cross++
+		}
 	}
 	return out
 }
 
-// elideChecks runs the elision pass over one function: a dominator-tree
-// walk by default, or the block-local form under NoCrossBlockElision
-// (the per-block ablation — exactly what the pass did before it had CFG
-// visibility).
-func elideChecks(f *mir.Func, opts Options, st *Stats) {
+// elidePathSensitive is the default §5.3 pass: a per-fact
+// available-check dataflow over the CFG. The lattice element is the
+// (register-provenance, fact) set of elideState; the meet is set
+// intersection over predecessors (meetStates); the transfer function
+// replays step over the block. SolveForward iterates to the greatest
+// fixpoint in reverse postorder, then every block is rewritten against
+// its solved in-state: a check is elided exactly when the same fact is
+// available on every incoming path. This closes the dominator walk's
+// diamond-join gap — a fact established on both arms of a branch (but
+// not before it) survives the meet and elides the join's re-check,
+// which the paper's scheme removes but the dominator pass cannot see.
+//
+// The transfer function models post-elision runtime behaviour: a check
+// that will be elided does not execute, so it neither kills nor
+// re-establishes facts. That is monotone (more facts in never yields
+// fewer facts out), and because the rewrite phase replays the identical
+// step function against the fixpoint in-states, the removed checks are
+// exactly the ones the solution says will not execute.
+func elidePathSensitive(f *mir.Func, opts Options, st *Stats) {
 	reuse := !opts.NoCheckReuse
-	if opts.NoCrossBlockElision {
-		for _, b := range f.Blocks {
-			b.Instrs = elideBlock(b.Instrs, newElideState(), st, reuse)
-		}
-		return
-	}
 	cfg := mir.NewCFG(f)
-	visited := make([]bool, len(f.Blocks))
-	// Dominator-tree DFS: a block inherits the end-of-block facts of its
-	// immediate dominator, filtered by everything that can run in
-	// between. Facts established in a sibling subtree never flow in —
-	// only dominating checks are guaranteed to have executed. Effect
-	// summaries are taken lazily, at descent time: a between-block whose
-	// own (redundant) check was already elided no longer rewrites the
-	// register's bounds at runtime, so it must not count as a kill —
-	// which is exactly what lets the entry check of a diamond serve both
-	// arms AND the join. Children are visited in reverse postorder, so a
-	// join's arms are processed (and their redundant checks removed)
-	// before the join itself; unprocessed between-blocks keep their
-	// conservative pre-elision summaries.
-	var walk func(bi int, in *elideState)
-	walk = func(bi int, in *elideState) {
-		visited[bi] = true
-		f.Blocks[bi].Instrs = elideBlock(f.Blocks[bi].Instrs, in, st, reuse)
-		for _, child := range cfg.DomChildren(bi) {
-			cs := in.inherit()
-			for _, x := range cfg.Between(bi, child) {
-				cs.apply(summarizeBlock(f.Blocks[x]))
+	in, solved := mir.SolveForward(cfg, mir.ForwardProblem[*elideState]{
+		Entry: newElideState,
+		Transfer: func(b int, s *elideState) *elideState {
+			n := s.clone()
+			instrs := f.Blocks[b].Instrs
+			for i := range instrs {
+				n.step(&instrs[i], reuse)
 			}
-			walk(child, cs)
+			return n
+		},
+		Meet:  meetStates,
+		Equal: statesEqual,
+	})
+	for bi, b := range f.Blocks {
+		var s *elideState
+		if solved[bi] {
+			// In-state facts are cross-block by construction (the entry
+			// boundary state is empty, so anything available on entry to
+			// a block was established elsewhere).
+			s = in[bi].inherit()
+		} else {
+			// Blocks unreachable from the entry get the block-local pass.
+			s = newElideState()
+		}
+		b.Instrs = elideBlock(b.Instrs, s, st, reuse, &st.ElidedPathSensitive)
+	}
+}
+
+// elideDomTree is the PR-2 dominator-tree pass, kept as the
+// Options.DomTreeElision ablation: a block inherits the end-of-block
+// facts of its immediate dominator, filtered by everything that can run
+// in between. Facts established in a sibling subtree never flow in —
+// only dominating checks are guaranteed to have executed, which is
+// exactly the diamond-join precision gap the dataflow pass closes.
+//
+// Effect summaries are taken lazily, at descent time: a between-block
+// whose own (redundant) check was already elided no longer rewrites the
+// register's bounds at runtime, so it must not count as a kill — which
+// is what lets the entry check of a diamond serve both arms AND the
+// join. Children are visited in reverse postorder, so a join's arms are
+// processed (and their redundant checks removed) before the join
+// itself; unprocessed between-blocks keep their conservative
+// pre-elision summaries. The walk is an explicit stack, not recursion —
+// pathological progen CFGs nest dominators thousands deep — and block
+// summaries are cached until the block is rewritten, so each block is
+// summarised O(1) times instead of once per dominator-tree edge.
+func elideDomTree(f *mir.Func, opts Options, st *Stats) {
+	reuse := !opts.NoCheckReuse
+	cfg := mir.NewCFG(f)
+	n := len(f.Blocks)
+	visited := make([]bool, n)
+	summaries := make([]blockEffects, n)
+	haveSummary := make([]bool, n)
+	summary := func(x int) blockEffects {
+		if !haveSummary[x] {
+			summaries[x] = summarizeBlock(f.Blocks[x])
+			haveSummary[x] = true
+		}
+		return summaries[x]
+	}
+
+	// Each frame carries the block and its immediate dominator's
+	// end-of-block state (shared across siblings, copied on use). The
+	// between filter runs at pop time, preserving the recursive walk's
+	// lazy-summary order: a sibling subtree visited earlier has already
+	// been rewritten when a later sibling's between-blocks are
+	// summarised.
+	type frame struct {
+		b        int
+		domState *elideState // nil for the entry block
+	}
+	stack := []frame{{b: 0}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var in *elideState
+		if fr.domState == nil {
+			in = newElideState()
+		} else {
+			in = fr.domState.inherit()
+			for _, x := range cfg.Between(cfg.Idom(fr.b), fr.b) {
+				in.apply(summary(x))
+			}
+		}
+		visited[fr.b] = true
+		f.Blocks[fr.b].Instrs = elideBlock(f.Blocks[fr.b].Instrs, in, st, reuse, &st.ElidedCrossBlock)
+		haveSummary[fr.b] = false // rewritten: stale summary
+		children := cfg.DomChildren(fr.b)
+		// Push in reverse so the pop order matches the recursive DFS:
+		// the first (lowest-RPO) child's entire subtree before the next.
+		for i := len(children) - 1; i >= 0; i-- {
+			stack = append(stack, frame{b: children[i], domState: in})
 		}
 	}
-	walk(0, newElideState())
 	// Blocks unreachable from the entry still get the block-local pass.
 	for i, b := range f.Blocks {
 		if !visited[i] {
-			b.Instrs = elideBlock(b.Instrs, newElideState(), st, reuse)
+			b.Instrs = elideBlock(b.Instrs, newElideState(), st, reuse, nil)
 		}
+	}
+}
+
+// elideChecks runs the elision pass over one function: the
+// path-sensitive dataflow pass by default, the dominator-tree walk
+// under DomTreeElision, or the block-local form under
+// NoCrossBlockElision (the per-block ablation — exactly what the pass
+// did before it had CFG visibility).
+func elideChecks(f *mir.Func, opts Options, st *Stats) {
+	switch {
+	case opts.NoCrossBlockElision:
+		for _, b := range f.Blocks {
+			b.Instrs = elideBlock(b.Instrs, newElideState(), st, !opts.NoCheckReuse, nil)
+		}
+	case opts.DomTreeElision:
+		elideDomTree(f, opts, st)
+	default:
+		elidePathSensitive(f, opts, st)
 	}
 }
 

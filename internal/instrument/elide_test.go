@@ -1,0 +1,421 @@
+package instrument
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctypes"
+	"repro/internal/mir"
+)
+
+// countChecks totals the dynamic-check instructions left in a program.
+func countChecks(p *mir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += countOps(f, mir.OpTypeCheck) + countOps(f, mir.OpBoundsCheck)
+	}
+	return n
+}
+
+// instrumentAll runs the same source program through the three elision
+// passes and returns (program, stats) per pass name.
+func instrumentAll(build func(tb *ctypes.Table) *mir.Program, base Options) (map[string]*mir.Program, map[string]Stats) {
+	progs := map[string]*mir.Program{}
+	stats := map[string]Stats{}
+	for name, mod := range map[string]func(o *Options){
+		"dataflow": func(o *Options) {},
+		"domtree":  func(o *Options) { o.DomTreeElision = true },
+		"perblock": func(o *Options) { o.NoCrossBlockElision = true },
+	} {
+		opts := base
+		mod(&opts)
+		ip, st := Instrument(build(ctypes.NewTable()), opts)
+		progs[name] = ip
+		stats[name] = st
+	}
+	return progs, stats
+}
+
+// runPass executes a program under a fresh runtime and returns the
+// result value and the reporter.
+func runPass(t *testing.T, ip *mir.Program) (uint64, *core.Reporter) {
+	t.Helper()
+	rt := core.NewRuntime(core.Options{Types: ip.Types})
+	in, err := mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := in.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, rt.Reporter
+}
+
+// buildDiamondJoin builds the diamond-join precision-gap program: the
+// pointer is NOT dereferenced before the branch, both arms check it,
+// and the join checks it again.
+//
+//	entry: arr = malloc long[4]; br c -> left, right
+//	left:  load arr; jmp join
+//	right: load arr; jmp join
+//	join:  load arr; ret
+//
+// The join's checks are redundant — every incoming path just performed
+// them — but no dominating block did, so the dominator-tree walk must
+// keep them while the available-check dataflow elides them.
+func buildDiamondJoin(tb *ctypes.Table) *mir.Program {
+	p := mir.NewProgram(tb)
+	b := mir.NewFunc(p, "main", ctypes.Long)
+	arr := b.MallocN(ctypes.Long, 4)
+	left, right, join := b.Reserve("left"), b.Reserve("right"), b.Reserve("join")
+	c := b.Const(ctypes.Int, 1)
+	b.Br(c, left, right)
+	b.SetBlock(left)
+	v1 := b.Load(ctypes.Long, arr)
+	b.Jmp(join)
+	b.SetBlock(right)
+	v2 := b.Load(ctypes.Long, arr)
+	b.Jmp(join)
+	b.SetBlock(join)
+	v3 := b.Load(ctypes.Long, arr)
+	s := b.Bin(mir.BinAdd, ctypes.Long, v1, v2)
+	s = b.Bin(mir.BinAdd, ctypes.Long, s, v3)
+	b.Ret(s)
+	return p
+}
+
+// TestPathSensitiveClosesDiamondJoinGap is the tentpole acceptance
+// test: on a diamond whose arms both re-check, the dataflow pass elides
+// the join's type and bounds checks (available on every incoming path)
+// while the dominator-tree pass cannot (no dominating block holds the
+// fact). Detection behaviour is identical.
+func TestPathSensitiveClosesDiamondJoinGap(t *testing.T) {
+	progs, stats := instrumentAll(buildDiamondJoin, Options{Variant: Full, Naive: true})
+
+	if got, want := countChecks(progs["dataflow"]), countChecks(progs["domtree"]); got >= want {
+		t.Fatalf("dataflow left %d checks, domtree %d: want strictly fewer", got, want)
+	}
+	// The join's naive type check and its bounds check are exactly the
+	// path-sensitive wins.
+	if st := stats["dataflow"]; st.ElidedPathSensitive != 2 || st.ElidedCrossBlock != 0 {
+		t.Errorf("dataflow attribution = path %d / cross %d, want 2 / 0",
+			st.ElidedPathSensitive, st.ElidedCrossBlock)
+	}
+	// The dominator walk sees no cross-block redundancy here at all.
+	if st := stats["domtree"]; st.ElidedCrossBlock != 0 || st.ElidedPathSensitive != 0 {
+		t.Errorf("domtree attribution = cross %d / path %d, want 0 / 0",
+			st.ElidedCrossBlock, st.ElidedPathSensitive)
+	}
+
+	var wantVal uint64
+	for i, name := range []string{"dataflow", "domtree", "perblock"} {
+		v, rep := runPass(t, progs[name])
+		if rep.Total() != 0 {
+			t.Fatalf("%s: clean program reported errors:\n%s", name, rep.Log())
+		}
+		if i == 0 {
+			wantVal = v
+		} else if v != wantVal {
+			t.Fatalf("%s: result %d, want %d", name, v, wantVal)
+		}
+	}
+}
+
+// TestElisionAttributionPartition pins the stat-partition contract:
+// across the full elision ablation matrix, a removed check is charged
+// to exactly one of ElidedCrossBlock / ElidedPathSensitive — the
+// counter of the pass that ran — and the cross-block counters never
+// exceed the per-kind elision totals they attribute.
+func TestElisionAttributionPartition(t *testing.T) {
+	builders := map[string]func(tb *ctypes.Table) *mir.Program{
+		"branchy":     buildBranchy,
+		"diamondjoin": buildDiamondJoin,
+		"fig4":        buildFig4,
+	}
+	for bname, build := range builders {
+		for _, naive := range []bool{false, true} {
+			_, stats := instrumentAll(build, Options{Variant: Full, Naive: naive})
+			for pass, st := range stats {
+				total := st.ElidedSubsume + st.ElidedNarrows + st.ElidedRechecks
+				if st.ElidedCrossBlock+st.ElidedPathSensitive > total {
+					t.Errorf("%s/%s naive=%v: cross %d + path %d exceed total elisions %d (double count)",
+						bname, pass, naive, st.ElidedCrossBlock, st.ElidedPathSensitive, total)
+				}
+				switch pass {
+				case "dataflow":
+					if st.ElidedCrossBlock != 0 {
+						t.Errorf("%s dataflow naive=%v: ElidedCrossBlock = %d, want 0", bname, naive, st.ElidedCrossBlock)
+					}
+				case "domtree":
+					if st.ElidedPathSensitive != 0 {
+						t.Errorf("%s domtree naive=%v: ElidedPathSensitive = %d, want 0", bname, naive, st.ElidedPathSensitive)
+					}
+				case "perblock":
+					if st.ElidedCrossBlock != 0 || st.ElidedPathSensitive != 0 {
+						t.Errorf("%s perblock naive=%v: claimed cross-block wins: %+v", bname, naive, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestElisionCFGEdgeCases is the table-driven edge-case suite: shapes
+// where the CFG itself (not the straight-line facts) decides whether a
+// check may go — irreducible loops, unreachable blocks, and diamonds
+// whose arms each contain exactly one barrier.
+func TestElisionCFGEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(tb *ctypes.Table) *mir.Program
+		// per-pass assertions on the instrumentation stats
+		assert map[string]func(t *testing.T, st Stats)
+		// expected issue kinds when executed (identical across passes)
+		wantKinds map[core.ErrorKind]int
+	}{
+		{
+			// entry: malloc; load arr; br -> {a, b}; a: load; jmp b;
+			// b: load; br -> {a, exit}; exit: load; ret.
+			// The {a, b} loop has two entries — irreducible, so the
+			// dominator tree describes none of it (Between sees the
+			// whole loop body on every edge and kills everything), but
+			// every path into a, b and exit has checked arr with no
+			// kills: the dataflow elides all six checks.
+			name: "irreducible-loop",
+			build: func(tb *ctypes.Table) *mir.Program {
+				p := mir.NewProgram(tb)
+				b := mir.NewFunc(p, "main", ctypes.Long)
+				arr := b.MallocN(ctypes.Long, 4)
+				v0 := b.Load(ctypes.Long, arr)
+				ba, bb, exit := b.Reserve("a"), b.Reserve("b"), b.Reserve("exit")
+				c := b.Const(ctypes.Int, 0)
+				b.Br(c, ba, bb)
+				b.SetBlock(ba)
+				v1 := b.Load(ctypes.Long, arr)
+				b.Jmp(bb)
+				b.SetBlock(bb)
+				v2 := b.Load(ctypes.Long, arr)
+				b.Br(c, ba, exit)
+				b.SetBlock(exit)
+				v3 := b.Load(ctypes.Long, arr)
+				s := b.Bin(mir.BinAdd, ctypes.Long, v0, v1)
+				s = b.Bin(mir.BinAdd, ctypes.Long, s, v2)
+				s = b.Bin(mir.BinAdd, ctypes.Long, s, v3)
+				b.Ret(s)
+				return p
+			},
+			assert: map[string]func(t *testing.T, st Stats){
+				"dataflow": func(t *testing.T, st Stats) {
+					if st.ElidedRechecks != 3 || st.ElidedSubsume != 3 || st.ElidedPathSensitive != 6 {
+						t.Errorf("irreducible loop under dataflow: %+v, want 3 rechecks + 3 subsumed, all path-sensitive", st)
+					}
+				},
+				"domtree": func(t *testing.T, st Stats) {
+					if st.ElidedCrossBlock != 0 {
+						t.Errorf("domtree claimed %d cross-block wins on an irreducible loop, want 0", st.ElidedCrossBlock)
+					}
+				},
+			},
+			wantKinds: map[core.ErrorKind]int{},
+		},
+		{
+			// A block no path reaches, holding a redundant re-check:
+			// the cross-block passes must not inherit facts into it
+			// (there is no incoming path), but the block-local pass
+			// still applies inside it — and no cross-block counter
+			// moves.
+			name: "unreachable-block",
+			build: func(tb *ctypes.Table) *mir.Program {
+				p := mir.NewProgram(tb)
+				b := mir.NewFunc(p, "main", ctypes.Long)
+				arr := b.MallocN(ctypes.Long, 4)
+				v0 := b.Load(ctypes.Long, arr)
+				dead := b.Reserve("dead")
+				b.Ret(v0)
+				b.SetBlock(dead)
+				d1 := b.Load(ctypes.Long, arr)
+				d2 := b.Load(ctypes.Long, arr)
+				b.Ret(b.Bin(mir.BinAdd, ctypes.Long, d1, d2))
+				return p
+			},
+			assert: map[string]func(t *testing.T, st Stats){
+				"dataflow": func(t *testing.T, st Stats) {
+					// The dead block's first check is kept (no path in,
+					// no facts in); its second is a block-local win.
+					if st.ElidedRechecks != 1 || st.ElidedPathSensitive != 0 || st.ElidedCrossBlock != 0 {
+						t.Errorf("unreachable block under dataflow: %+v, want 1 local recheck, no cross-block attribution", st)
+					}
+				},
+				"domtree": func(t *testing.T, st Stats) {
+					if st.ElidedRechecks != 1 || st.ElidedCrossBlock != 0 {
+						t.Errorf("unreachable block under domtree: %+v, want 1 local recheck, no cross-block attribution", st)
+					}
+				},
+			},
+			wantKinds: map[core.ErrorKind]int{},
+		},
+		{
+			// Diamond whose arms contain exactly one barrier each — a
+			// free on one, a may-free call on the other. The lastType
+			// fact dies at the join on BOTH paths, so the join's type
+			// check must survive every pass: it is the check that
+			// reports the use-after-free when the freeing arm ran. And
+			// because that kept type check re-establishes the bounds
+			// register, it conservatively invalidates the inherited
+			// bounds fact too — nothing at the join may be elided.
+			name: "diamond-barrier-each-arm",
+			build: func(tb *ctypes.Table) *mir.Program {
+				p := mir.NewProgram(tb)
+				nop := mir.NewFunc(p, "nop", nil)
+				nop.RetVoid()
+				b := mir.NewFunc(p, "main", ctypes.Long)
+				arr := b.MallocN(ctypes.Long, 4)
+				v0 := b.Load(ctypes.Long, arr)
+				fr, cl, join := b.Reserve("fr"), b.Reserve("cl"), b.Reserve("join")
+				c := b.Const(ctypes.Int, 1)
+				b.Br(c, fr, cl)
+				b.SetBlock(fr)
+				b.Free(arr)
+				b.Jmp(join)
+				b.SetBlock(cl)
+				b.CallV("nop")
+				b.Jmp(join)
+				b.SetBlock(join)
+				v1 := b.Load(ctypes.Long, arr) // UAF when the fr arm ran
+				b.Ret(b.Bin(mir.BinAdd, ctypes.Long, v0, v1))
+				return p
+			},
+			assert: map[string]func(t *testing.T, st Stats){
+				"dataflow": func(t *testing.T, st Stats) {
+					if st.ElidedRechecks != 0 || st.ElidedSubsume != 0 || st.ElidedPathSensitive != 0 {
+						t.Errorf("fact crossed barrier arms under dataflow: %+v", st)
+					}
+				},
+				"domtree": func(t *testing.T, st Stats) {
+					if st.ElidedRechecks != 0 || st.ElidedSubsume != 0 || st.ElidedCrossBlock != 0 {
+						t.Errorf("fact crossed barrier arms under domtree: %+v", st)
+					}
+				},
+			},
+			wantKinds: map[core.ErrorKind]int{core.UseAfterFree: 1},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			progs, stats := instrumentAll(tc.build, Options{Variant: Full, Naive: true})
+			for pass, fn := range tc.assert {
+				fn(t, stats[pass])
+			}
+			var wantVal uint64
+			for i, name := range []string{"dataflow", "domtree", "perblock"} {
+				v, rep := runPass(t, progs[name])
+				kinds := rep.IssuesByKind()
+				if len(kinds) != len(tc.wantKinds) {
+					t.Fatalf("%s: issue kinds %v, want %v\n%s", name, kinds, tc.wantKinds, rep.Log())
+				}
+				for k, n := range tc.wantKinds {
+					if kinds[k] != n {
+						t.Fatalf("%s: %v reported %d times, want %d", name, k, kinds[k], n)
+					}
+				}
+				if i == 0 {
+					wantVal = v
+				} else if v != wantVal {
+					t.Fatalf("%s: result %d, want %d (elision changed semantics)", name, v, wantVal)
+				}
+			}
+		})
+	}
+}
+
+// buildDiamondChain builds main with `depth` diamonds in sequence, each
+// re-dereferencing the same pointer on both arms and at the join. The
+// dominator tree of the result is `depth` levels deep — the shape that
+// made the recursive walk a stack-depth hazard — and every check after
+// the entry's is redundant under both CFG-aware passes.
+func buildDiamondChain(tb *ctypes.Table, depth int) *mir.Program {
+	p := mir.NewProgram(tb)
+	b := mir.NewFunc(p, "main", ctypes.Long)
+	arr := b.MallocN(ctypes.Long, 4)
+	s := b.Load(ctypes.Long, arr)
+	c := b.Const(ctypes.Int, 1)
+	for i := 0; i < depth; i++ {
+		left, right, join := b.Reserve("l"), b.Reserve("r"), b.Reserve("j")
+		b.Br(c, left, right)
+		b.SetBlock(left)
+		vl := b.Load(ctypes.Long, arr)
+		b.Jmp(join)
+		b.SetBlock(right)
+		vr := b.Load(ctypes.Long, arr)
+		b.Jmp(join)
+		b.SetBlock(join)
+		vj := b.Load(ctypes.Long, arr)
+		s = b.Bin(mir.BinAdd, ctypes.Long, s, vl)
+		s = b.Bin(mir.BinAdd, ctypes.Long, s, vr)
+		s = b.Bin(mir.BinAdd, ctypes.Long, s, vj)
+	}
+	b.Ret(s)
+	return p
+}
+
+// TestDomTreeWalkDeepCFG: the dominator-tree walk must survive a
+// pathologically deep dominator tree (it is an explicit stack, not
+// recursion) and still elide every post-entry check; the dataflow pass
+// must agree on this reducible shape.
+func TestDomTreeWalkDeepCFG(t *testing.T) {
+	const depth = 2000
+	for _, pass := range []string{"dataflow", "domtree"} {
+		opts := Options{Variant: Full, Naive: true, DomTreeElision: pass == "domtree"}
+		ip, st := Instrument(buildDiamondChain(ctypes.NewTable(), depth), opts)
+		// Entry's type+bounds check survive; all 3*depth re-derefs lose
+		// both their checks.
+		if got := countChecks(ip); got != 2 {
+			t.Fatalf("%s: %d checks survive a %d-deep diamond chain, want 2", pass, got, depth)
+		}
+		wantElided := 3 * depth
+		if st.ElidedRechecks != wantElided || st.ElidedSubsume != wantElided {
+			t.Fatalf("%s: elided %d rechecks / %d subsumed, want %d each",
+				pass, st.ElidedRechecks, st.ElidedSubsume, wantElided)
+		}
+		cross := st.ElidedCrossBlock + st.ElidedPathSensitive
+		if cross != 2*wantElided {
+			t.Fatalf("%s: %d cross-block attributions, want %d", pass, cross, 2*wantElided)
+		}
+	}
+}
+
+// Instrumentation-time benchmarks over a deep diamond chain — the
+// shape that made the dominator walk quadratic before Between results
+// were memoized and block summaries cached. Run with -bench to compare
+// the two CFG-aware passes' instrumentation cost.
+func benchmarkElide(b *testing.B, depth int, opts Options) {
+	p := buildDiamondChain(ctypes.NewTable(), depth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip, st := Instrument(p, opts)
+		if st.ElidedRechecks == 0 {
+			b.Fatal("elision inert")
+		}
+		_ = ip
+	}
+}
+
+func BenchmarkElideDomTreeDeep(b *testing.B) {
+	for _, depth := range []int{50, 400} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			benchmarkElide(b, depth, Options{Variant: Full, Naive: true, DomTreeElision: true})
+		})
+	}
+}
+
+func BenchmarkElidePathSensitiveDeep(b *testing.B) {
+	for _, depth := range []int{50, 400} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			benchmarkElide(b, depth, Options{Variant: Full, Naive: true})
+		})
+	}
+}

@@ -20,10 +20,12 @@
 // bounds_get rather than a type check.
 //
 // After insertion, the §5.3 elision pass (elide.go) removes redundant
-// checks with full CFG visibility: a dominator-tree walk elides any
-// check whose provenance an identical dominating check already covers,
-// with free/realloc/call acting as barriers. Surviving type checks then
-// receive stable site IDs for the runtime's per-site inline caches.
+// checks with full CFG visibility: an available-check dataflow over
+// mir.CFG elides any check whose fact is available on every incoming
+// path, with free/realloc/call acting as barriers (the dominator-tree
+// walk and a block-local pass remain as ablations). Surviving type
+// checks then receive stable site IDs for the runtime's per-site
+// inline caches.
 package instrument
 
 import (
@@ -77,10 +79,17 @@ type Options struct {
 	// isolate §5.3's redundant-check removal.
 	NoCheckReuse bool
 	// NoCrossBlockElision restricts the elision pass to single basic
-	// blocks (the pre-CFG behaviour): the dominator-based pass is
-	// replaced by the block-local one, so checks established in a
-	// dominating block are re-run — the "per-block" Fig. 8 ablation.
+	// blocks (the pre-CFG behaviour): the CFG-aware pass is replaced by
+	// the block-local one, so checks established in another block are
+	// re-run — the "per-block" Fig. 8 ablation.
 	NoCrossBlockElision bool
+	// DomTreeElision replaces the default path-sensitive
+	// available-check dataflow with the dominator-tree walk (the PR-2
+	// pass): facts flow only from dominating blocks, so a diamond whose
+	// arms both establish a fact loses it at the join — the "dom-tree"
+	// Fig. 8 ablation, kept to measure what path sensitivity buys.
+	// Ignored under NoCrossBlockElision.
+	DomTreeElision bool
 	// Naive replaces the input-pointer discipline with a type check
 	// before every single dereference — the strawman the schema's check
 	// minimisation is measured against (ablation only).
@@ -99,10 +108,16 @@ type Stats struct {
 	ElidedNarrows  int // redundant narrowing operations removed
 	ElidedUnused   int // input checks skipped on never-used pointers
 	ElidedRechecks int // type checks reusing an earlier check's bounds
-	// ElidedCrossBlock counts the subset of the elisions above whose
-	// justifying check lives in a dominating block — the wins only the
-	// CFG-aware pass can see (zero under NoCrossBlockElision).
-	ElidedCrossBlock int
+	// ElidedCrossBlock and ElidedPathSensitive count the subset of the
+	// elisions above whose justifying check lives in ANOTHER block —
+	// the wins only a CFG-aware pass can see (both zero under
+	// NoCrossBlockElision). They partition by pass: a removed check is
+	// charged to ElidedCrossBlock when the dominator-tree walk
+	// (DomTreeElision) removed it, and to ElidedPathSensitive when the
+	// default available-check dataflow did; exactly one pass runs per
+	// instrumentation, so no check is ever counted in both.
+	ElidedCrossBlock    int
+	ElidedPathSensitive int
 	// CheckSites is the number of static OpTypeCheck sites that survived
 	// elision; each gets a stable 1-based site ID for the runtime's
 	// per-site inline caches.

@@ -549,12 +549,16 @@ func buildBranchy(tb *ctypes.Table) *mir.Program {
 	return p
 }
 
-// TestDominatorElisionBeatsPerBlock is the acceptance criterion for the
-// CFG-aware pass: on a branching program it removes strictly more checks
-// than the per-block pass — the entry check dominates both arms and the
-// join, so their re-checks are redundant, which block-local analysis
-// cannot see.
-func TestDominatorElisionBeatsPerBlock(t *testing.T) {
+// TestCrossBlockElisionBeatsPerBlock is the acceptance criterion for
+// the CFG-aware passes: on a branching program both the path-sensitive
+// dataflow (the default) and the dominator-tree ablation remove
+// strictly more checks than the per-block pass — the entry check covers
+// both arms and the join, so their re-checks are redundant, which
+// block-local analysis cannot see. Elision attribution partitions by
+// pass: the dataflow charges ElidedPathSensitive, the dominator walk
+// ElidedCrossBlock, and neither counter ever moves under the other
+// pass.
+func TestCrossBlockElisionBeatsPerBlock(t *testing.T) {
 	countChecks := func(p *mir.Program) int {
 		n := 0
 		for _, f := range p.Funcs {
@@ -563,31 +567,44 @@ func TestDominatorElisionBeatsPerBlock(t *testing.T) {
 		return n
 	}
 	opts := Options{Variant: Full, Naive: true}
+	domTree := opts
+	domTree.DomTreeElision = true
 	perBlock := opts
 	perBlock.NoCrossBlockElision = true
 
-	tb := ctypes.NewTable()
-	ipDom, stDom := Instrument(buildBranchy(tb), opts)
-	tb2 := ctypes.NewTable()
-	ipPB, stPB := Instrument(buildBranchy(tb2), perBlock)
+	ipPS, stPS := Instrument(buildBranchy(ctypes.NewTable()), opts)
+	ipDom, stDom := Instrument(buildBranchy(ctypes.NewTable()), domTree)
+	ipPB, stPB := Instrument(buildBranchy(ctypes.NewTable()), perBlock)
 
 	if got, want := countChecks(ipDom), countChecks(ipPB); got >= want {
 		t.Fatalf("dominator pass left %d checks, per-block %d: want strictly fewer", got, want)
 	}
-	// The three re-checks (left, right, join) and the three subsumed
-	// bounds checks are exactly the cross-block wins.
-	if stDom.ElidedRechecks != 3 {
-		t.Errorf("dominator rechecks elided = %d, want 3", stDom.ElidedRechecks)
+	if got, want := countChecks(ipPS), countChecks(ipPB); got >= want {
+		t.Fatalf("dataflow pass left %d checks, per-block %d: want strictly fewer", got, want)
 	}
-	if stDom.ElidedCrossBlock != 6 {
-		t.Errorf("cross-block elisions = %d, want 6 (3 type + 3 bounds)", stDom.ElidedCrossBlock)
+	// On this program (the entry check dominates everything) the two
+	// CFG-aware passes agree: the three re-checks (left, right, join)
+	// and the three subsumed bounds checks are exactly the cross-block
+	// wins — attributed to the running pass's own counter only.
+	for name, st := range map[string]Stats{"domtree": stDom, "pathsensitive": stPS} {
+		if st.ElidedRechecks != 3 {
+			t.Errorf("%s: rechecks elided = %d, want 3", name, st.ElidedRechecks)
+		}
 	}
-	if stPB.ElidedRechecks != 0 || stPB.ElidedCrossBlock != 0 {
+	if stDom.ElidedCrossBlock != 6 || stDom.ElidedPathSensitive != 0 {
+		t.Errorf("domtree attribution = cross %d / path %d, want 6 / 0",
+			stDom.ElidedCrossBlock, stDom.ElidedPathSensitive)
+	}
+	if stPS.ElidedPathSensitive != 6 || stPS.ElidedCrossBlock != 0 {
+		t.Errorf("dataflow attribution = cross %d / path %d, want 0 / 6",
+			stPS.ElidedCrossBlock, stPS.ElidedPathSensitive)
+	}
+	if stPB.ElidedRechecks != 0 || stPB.ElidedCrossBlock != 0 || stPB.ElidedPathSensitive != 0 {
 		t.Errorf("per-block pass claimed cross-block wins: %+v", stPB)
 	}
 
-	// Detection parity: both variants execute cleanly to the same value.
-	for name, ip := range map[string]*mir.Program{"dom": ipDom, "perblock": ipPB} {
+	// Detection parity: all three variants execute cleanly to the same value.
+	for name, ip := range map[string]*mir.Program{"dataflow": ipPS, "dom": ipDom, "perblock": ipPB} {
 		rt := core.NewRuntime(core.Options{Types: ip.Types})
 		in, err := mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt)})
 		if err != nil {

@@ -1,5 +1,7 @@
 package mir
 
+import mathbits "math/bits"
+
 // This file provides the control-flow analyses the §5.3 check-elision
 // pass needs: block successors/predecessors derived from the terminators
 // (OpJmp/OpBr/OpRet), a reverse postorder, immediate dominators via the
@@ -14,7 +16,8 @@ package mir
 // CFG is the control-flow graph of one function. It is a snapshot: the
 // function must not be mutated structurally (blocks added/removed,
 // terminators changed) while the CFG is in use. Instruction-level edits
-// inside blocks are fine — the graph only depends on terminators.
+// inside blocks are fine — the graph only depends on terminators. A CFG
+// is not safe for concurrent use: Between memoizes its results.
 type CFG struct {
 	f *Func
 
@@ -34,6 +37,13 @@ type CFG struct {
 	pre      []int   // dominator-tree DFS entry numbering (for Dominates)
 	post     []int   // dominator-tree DFS exit numbering
 	reach    []bits  // reach[b] = blocks reachable from b via >= 1 edge
+
+	// between memoizes Between results per (a, b) pair. The elision
+	// passes query one pair per dominator-tree edge per run, but
+	// repeated runs over a shared CFG (ablation matrices, tests) and
+	// any client querying a pair twice hit the cache instead of
+	// rescanning the reachability bitsets.
+	between map[uint64][]int
 }
 
 // bits is a simple fixed-size bitset over block indices.
@@ -51,6 +61,17 @@ func (b bits) or(o bits) bool { // union in place; reports change
 		}
 	}
 	return changed
+}
+
+// forEach calls fn for every set bit in ascending order — cheaper than
+// probing every block index when the set is sparse.
+func (b bits) forEach(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			fn(wi*64 + mathbits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
 }
 
 // blockSuccs returns the successor block indices of b per its terminator.
@@ -300,15 +321,21 @@ func (c *CFG) Dominates(a, b int) bool {
 // site runs; a itself is excluded because re-executing a (on a cycle
 // through a) re-establishes a's own end-of-block facts, and any other
 // block on such a cycle is in the set.
+// Results are memoized per (a, b) pair for the lifetime of the CFG.
 func (c *CFG) Between(a, b int) []int {
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if out, ok := c.between[key]; ok {
+		return out
+	}
 	var out []int
-	for x := 0; x < len(c.f.Blocks); x++ {
-		if x == a {
-			continue
-		}
-		if c.reach[a].has(x) && c.reach[x].has(b) {
+	c.reach[a].forEach(func(x int) {
+		if x != a && c.reach[x].has(b) {
 			out = append(out, x)
 		}
+	})
+	if c.between == nil {
+		c.between = make(map[uint64][]int)
 	}
+	c.between[key] = out
 	return out
 }

@@ -26,6 +26,20 @@ type Options struct {
 	Funcs int
 	// Rounds is the main loop's iteration count (default 8).
 	Rounds int
+	// Diamonds is the number of diamond helper functions to emit
+	// (default 0). Each takes two long* parameters and a mode,
+	// dereferences both pointers on each arm of one or more chained
+	// branches, and dereferences them again at every join — the shape
+	// whose join re-checks are redundant on every incoming path but
+	// justified by no dominating block, so only path-sensitive check
+	// elision removes them (the §5.3 diamond-join gap).
+	Diamonds int
+	// Interior routes fixed-size int spans through an interior-pointer
+	// helper: main passes pointers to array fields INSIDE heap structs
+	// (&xs[i].body decayed), so the callee's entry type check resolves
+	// at a sub-object offset instead of the exact-match fast path —
+	// the workload shape that exercises the per-site inline caches.
+	Interior bool
 }
 
 func (o *Options) fill() {
@@ -71,6 +85,12 @@ func Generate(seed int64, opts Options) string {
 		}
 	}
 	g.emitListType()
+	for d := 0; d < opts.Diamonds; d++ {
+		g.emitDiamond(d)
+	}
+	if opts.Interior {
+		g.emitInterior()
+	}
 	g.emitMain(opts)
 	return g.sb.String()
 }
@@ -220,18 +240,92 @@ void gen_drop(struct GenNode *head) {
 `)
 }
 
+// emitDiamond emits diamond function d: both pointer parameters are
+// dereferenced on each arm of 1-3 chained branches AND at each join.
+// No dereference happens before the first branch, so the first join's
+// re-checks are available on every incoming path yet dominated by no
+// earlier check — elidable only path-sensitively.
+func (g *gen) emitDiamond(d int) {
+	chain := 1 + g.r.Intn(3)
+	g.pf("long diamond_%d(long *p, long *q, int mode) {\n", d)
+	g.pf("    long acc = 0;\n")
+	for k := 0; k < chain; k++ {
+		g.pf("    if (mode > %d) {\n", k)
+		g.pf("        *p = *p + %d;\n", 1+g.r.Intn(5))
+		g.pf("        acc += *q;\n")
+		g.pf("    } else {\n")
+		g.pf("        *q = *q + %d;\n", 1+g.r.Intn(5))
+		g.pf("        acc += *p;\n")
+		g.pf("    }\n")
+		g.pf("    acc += *p + *q;\n")
+	}
+	g.pf("    return acc;\n}\n\n")
+}
+
+// emitInterior emits the interior-pointer helper and its carrier type:
+// span_sum receives a pointer into the MIDDLE of a GenSpan heap object
+// (the body array at byte offset 8), so its entry type check resolves
+// at a sub-object offset — off the exact-match fast path, onto the
+// per-site inline caches.
+func (g *gen) emitInterior() {
+	g.pf(`struct GenSpan { long tag; int body[8]; long tail; };
+
+long span_sum(int *s, int n) {
+    long acc = 0;
+    for (int i = 0; i < n; i++) {
+        s[i] = s[i] + 1;
+        acc += (long)s[i];
+    }
+    return acc;
+}
+
+`)
+}
+
 // emitMain drives everything: typed heap arrays, sweeps, a list, and a
 // deterministic checksum return value.
 func (g *gen) emitMain(opts Options) {
 	g.pf("int main() {\n")
 	g.pf("    long acc = 0;\n")
+	counts := make([]int, len(g.types))
 	for ti, t := range g.types {
 		count := 3 + g.r.Intn(6)
+		counts[ti] = count
 		g.pf("    struct %s *a%d = malloc(%d * sizeof(struct %s));\n",
 			t.name, ti, count, t.name)
 		for f := 0; f < opts.Funcs; f++ {
 			g.pf("    for (int r = 0; r < %d; r++) { acc += sweep_%s_%d(a%d, %d); }\n",
 				opts.Rounds, t.name, f, ti, count)
+		}
+	}
+	if opts.Interior {
+		// Dedicated sub-object spans, plus every array field the
+		// generated types happen to carry.
+		spanCount := 4 + g.r.Intn(8)
+		g.pf("    struct GenSpan *sp = malloc(%d * sizeof(struct GenSpan));\n", spanCount)
+		g.pf("    for (int r = 0; r < %d; r++) {\n", opts.Rounds)
+		g.pf("        for (int i = 0; i < %d; i++) {\n", spanCount)
+		g.pf("            sp[i].tag = (long)i;\n")
+		g.pf("            acc += span_sum(sp[i].body, 8);\n")
+		g.pf("            sp[i].tail = acc;\n")
+		g.pf("        }\n")
+		g.pf("    }\n")
+		for ti, t := range g.types {
+			for _, f := range t.fields {
+				if f.typ == "arr" {
+					g.pf("    for (int i = 0; i < %d; i++) { acc += span_sum(a%d[i].%s, %d); }\n",
+						counts[ti], ti, f.name, f.n)
+				}
+			}
+		}
+	}
+	if opts.Diamonds > 0 {
+		g.pf("    long *dp = malloc(4 * sizeof(long));\n")
+		g.pf("    long *dq = malloc(4 * sizeof(long));\n")
+		g.pf("    dp[0] = 1;\n    dq[0] = 2;\n")
+		for d := 0; d < opts.Diamonds; d++ {
+			g.pf("    for (int r = 0; r < %d; r++) { acc += diamond_%d(dp, dq, r & 3); }\n",
+				opts.Rounds, d)
 		}
 	}
 	listLen := 4 + g.r.Intn(12)
@@ -242,6 +336,13 @@ func (g *gen) emitMain(opts Options) {
 	g.pf("    gen_drop(head);\n")
 	for ti := range g.types {
 		g.pf("    free(a%d);\n", ti)
+	}
+	if opts.Interior {
+		g.pf("    free(sp);\n")
+	}
+	if opts.Diamonds > 0 {
+		g.pf("    free(dp);\n")
+		g.pf("    free(dq);\n")
 	}
 	g.pf("    return (int)(acc & 0xffff);\n}\n")
 }

@@ -98,4 +98,54 @@ func TestShapeOptions(t *testing.T) {
 	if len(big) <= len(small) {
 		t.Fatal("larger options did not grow the program")
 	}
+	base := Generate(7, Options{})
+	if Generate(7, Options{Diamonds: 2}) == base || Generate(7, Options{Interior: true}) == base {
+		t.Fatal("diamond/interior options did not change the program")
+	}
+	// New options must not perturb the RNG stream of the base shape:
+	// old seeds keep producing byte-identical base programs.
+	if Generate(7, Options{}) != base {
+		t.Fatal("option plumbing broke base determinism")
+	}
+}
+
+// TestDiamondInteriorSoundness extends the differential net to the
+// diamond-heavy and interior-pointer shapes: for a spread of seeds the
+// programs stay clean (no reports) and semantics-preserving under every
+// EffectiveSan variant AND under every elision pass — the shapes were
+// added precisely to stress the §5.3 optimiser, so they must never
+// change what the program computes.
+func TestDiamondInteriorSoundness(t *testing.T) {
+	tools := []*sanitizers.Tool{
+		sanitizers.ToolUninstrumented,
+		sanitizers.ToolEffectiveSan,
+		sanitizers.ToolEffectiveSan.WithDomTreeElision().Named("EffectiveSan-domtree"),
+		sanitizers.ToolEffectiveSan.PerBlockElision().Named("EffectiveSan-perblock"),
+		sanitizers.ToolEffBounds,
+		sanitizers.ToolEffType,
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		src := Generate(seed, Options{Diamonds: 1 + int(seed%3), Interior: seed%2 == 0})
+		var want uint64
+		for i, tool := range tools {
+			prog, err := cc.Compile(src, ctypes.NewTable())
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			res, err := tool.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatalf("seed %d under %s: %v", seed, tool.Name, err)
+			}
+			if res.Reporter.Total() > 0 {
+				t.Errorf("seed %d under %s: FALSE POSITIVE\n%s",
+					seed, tool.Name, res.Reporter.Log())
+			}
+			if i == 0 {
+				want = res.Value
+			} else if res.Value != want {
+				t.Errorf("seed %d under %s: result %d, want %d (semantics changed)",
+					seed, tool.Name, res.Value, want)
+			}
+		}
+	}
 }

@@ -1,0 +1,103 @@
+package sanitizers
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bugsuite"
+	"repro/internal/spec"
+)
+
+// elisionConfigs returns full EffectiveSan under the three elision
+// passes: the default path-sensitive dataflow, the dominator-tree
+// ablation and the block-local ablation. Elision is performance-only,
+// so every detection result must be identical across them.
+func elisionConfigs() []*Tool {
+	return []*Tool{
+		ToolEffectiveSan,
+		ToolEffectiveSan.WithDomTreeElision().Named("EffectiveSan-domtree"),
+		ToolEffectiveSan.PerBlockElision().Named("EffectiveSan-perblock"),
+	}
+}
+
+// TestElisionDetectionParityFig1 runs the Fig. 1 error-injection corpus
+// with path-sensitive elision on and off (and per-block only): every
+// case must report exactly the same issues — a check the dataflow pass
+// removes is one whose outcome an earlier check already determined.
+func TestElisionDetectionParityFig1(t *testing.T) {
+	tools := elisionConfigs()
+	for _, c := range bugsuite.Cases() {
+		prog, err := c.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		want := ""
+		for i, tool := range tools {
+			res, err := tool.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", c.Name, tool.Name, err)
+			}
+			got := issueSummary(res)
+			if i == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: %s issues %q != %s issues %q",
+					c.Name, tool.Name, got, tools[0].Name, want)
+			}
+		}
+	}
+}
+
+// TestElisionDetectionParityFig7 proves the same parity over ALL 19
+// Fig. 7 SPEC workloads: identical issue counts and identical program
+// results under every elision pass, with the paper's issue column still
+// exact — and the path-sensitive pass never executing more checks than
+// the dominator-tree one.
+func TestElisionDetectionParityFig7(t *testing.T) {
+	tools := elisionConfigs()
+	for _, b := range spec.Benchmarks() {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		want := ""
+		var wantVal uint64
+		var psChecks, domChecks uint64
+		for i, tool := range tools {
+			res, err := tool.Exec(prog, b.Entry, io.Discard)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", b.Name, tool.Name, err)
+			}
+			switch i {
+			case 0:
+				psChecks = res.Stats.TypeChecks + res.Stats.BoundsChecks
+			case 1:
+				domChecks = res.Stats.TypeChecks + res.Stats.BoundsChecks
+			}
+			if got := res.Reporter.NumIssues(); got != b.PaperIssues {
+				t.Errorf("%s under %s: issues = %d, want %d (paper Fig. 7)",
+					b.Name, tool.Name, got, b.PaperIssues)
+			}
+			got := issueSummary(res)
+			if i == 0 {
+				want = got
+				wantVal = res.Value
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: %s issues %q != %s issues %q",
+					b.Name, tool.Name, got, tools[0].Name, want)
+			}
+			if res.Value != wantVal {
+				t.Errorf("%s: %s result %d != %d (elision changed semantics)",
+					b.Name, tool.Name, res.Value, wantVal)
+			}
+		}
+		if psChecks > domChecks {
+			t.Errorf("%s: path-sensitive executed %d checks, dom-tree %d: dataflow must never check more",
+				b.Name, psChecks, domChecks)
+		}
+	}
+}

@@ -43,10 +43,14 @@ type ShardedResult struct {
 	Workers []WorkerStats
 	// Stats is the aggregate across workers (field-wise sum of the
 	// per-worker snapshots; also folded into the runtime's own sink).
-	Stats    core.StatsSnapshot
-	Reporter *core.Reporter
-	HeapPeak uint64 // peak live heap bytes of the shared allocator
-	MemPages int64  // simulated memory materialised (bytes)
+	Stats core.StatsSnapshot
+	// InstrStats reports the shared instrumentation pass (the program
+	// is instrumented once, not per worker; zero for the uninstrumented
+	// baseline).
+	InstrStats instrument.Stats
+	Reporter   *core.Reporter
+	HeapPeak   uint64 // peak live heap bytes of the shared allocator
+	MemPages   int64  // simulated memory materialised (bytes)
 }
 
 // TotalBusy sums the workers' busy time — the CPU-time analogue used for
@@ -101,9 +105,10 @@ func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, o
 		plain = mir.NewPlainEnv(nil)
 		res.Reporter = core.NewReporter(core.ModeLog, 0)
 	} else {
-		runee, _ = instrument.Instrument(prog, instrument.Options{
+		runee, res.InstrStats = instrument.Instrument(prog, instrument.Options{
 			Variant: t.Variant, NoOptimize: t.NoOptimize,
 			NoCrossBlockElision: t.NoCrossBlockElision,
+			DomTreeElision:      t.DomTreeElision,
 		})
 		rt = core.NewRuntime(core.Options{
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,

@@ -41,6 +41,11 @@ type Tool struct {
 	// (the "per-block" Fig. 8 ablation) —
 	// instrument.Options.NoCrossBlockElision.
 	NoCrossBlockElision bool
+	// DomTreeElision swaps the default path-sensitive available-check
+	// dataflow for the dominator-tree elision walk (the "dom-tree"
+	// Fig. 8 ablation; loses the diamond-join wins) —
+	// instrument.Options.DomTreeElision.
+	DomTreeElision bool
 	// Threads > 1 makes Exec run the entry once per worker goroutine
 	// against one shared runtime (the §6.1 multi-threaded mode; see
 	// ExecSharded for the pool semantics). 0 and 1 both mean the classic
@@ -92,6 +97,15 @@ func (t *Tool) PerBlockElision() *Tool {
 	return &cp
 }
 
+// WithDomTreeElision returns a copy of the tool that elides checks with
+// the dominator-tree walk instead of the default path-sensitive
+// dataflow — the ablation that prices the diamond-join precision gap.
+func (t *Tool) WithDomTreeElision() *Tool {
+	cp := *t
+	cp.DomTreeElision = true
+	return &cp
+}
+
 // Named returns a copy of the tool under a different display name (for
 // ablation bars).
 func (t *Tool) Named(name string) *Tool {
@@ -113,9 +127,13 @@ type RunResult struct {
 	Value    uint64
 	Reporter *core.Reporter
 	Stats    core.StatsSnapshot // EffectiveSan runtime counters (zero for baselines)
-	Elapsed  time.Duration
-	HeapPeak uint64 // peak live heap bytes
-	MemPages int64  // simulated memory materialised (bytes)
+	// InstrStats reports what the instrumentation pass did (check
+	// insertion and §5.3 elision counters; zero for baselines and the
+	// uninstrumented tool) — tests assert elision attribution on it.
+	InstrStats instrument.Stats
+	Elapsed    time.Duration
+	HeapPeak   uint64 // peak live heap bytes
+	MemPages   int64  // simulated memory materialised (bytes)
 	// Workers carries the per-worker breakdown when Threads > 1 routed
 	// the run through the sharded pool (nil for single-threaded runs).
 	Workers []WorkerStats
@@ -137,7 +155,8 @@ func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint
 		}
 		return &RunResult{
 			Value: sr.Value, Reporter: sr.Reporter, Stats: sr.Stats,
-			Elapsed: sr.Wall, HeapPeak: sr.HeapPeak, MemPages: sr.MemPages,
+			InstrStats: sr.InstrStats,
+			Elapsed:    sr.Wall, HeapPeak: sr.HeapPeak, MemPages: sr.MemPages,
 			Workers: sr.Workers,
 		}, nil
 	}
@@ -175,10 +194,12 @@ func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint
 		res.HeapPeak = env.Heap().Stats().Peak
 		res.MemPages = env.Mem().TouchedBytes()
 	default:
-		ip, _ := instrument.Instrument(prog, instrument.Options{
+		ip, ist := instrument.Instrument(prog, instrument.Options{
 			Variant: t.Variant, NoOptimize: t.NoOptimize,
 			NoCrossBlockElision: t.NoCrossBlockElision,
+			DomTreeElision:      t.DomTreeElision,
 		})
+		res.InstrStats = ist
 		rt := core.NewRuntime(core.Options{
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,
 			CheckCacheSize: t.CheckCache, NoInlineCache: t.NoInlineCache,

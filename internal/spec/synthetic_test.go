@@ -1,0 +1,117 @@
+package spec
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/sanitizers"
+)
+
+// TestSyntheticClean: the progen workloads are clean by construction —
+// no reports, identical results, under every elision configuration.
+func TestSyntheticClean(t *testing.T) {
+	tools := []*sanitizers.Tool{
+		sanitizers.ToolUninstrumented,
+		sanitizers.ToolEffectiveSan,
+		sanitizers.ToolEffectiveSan.WithDomTreeElision().Named("EffectiveSan-domtree"),
+		sanitizers.ToolEffectiveSan.PerBlockElision().Named("EffectiveSan-perblock"),
+	}
+	for _, b := range Synthetic() {
+		var want uint64
+		for i, tool := range tools {
+			prog, err := b.Program()
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			res, err := tool.Exec(prog, b.Entry, io.Discard)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", b.Name, tool.Name, err)
+			}
+			if res.Reporter.Total() > 0 {
+				t.Errorf("%s under %s: FALSE POSITIVE\n%s", b.Name, tool.Name, res.Reporter.Log())
+			}
+			if i == 0 {
+				want = res.Value
+			} else if res.Value != want {
+				t.Errorf("%s under %s: result %d, want %d", b.Name, tool.Name, res.Value, want)
+			}
+		}
+	}
+}
+
+// TestDiamondWorkloadHitsTheJoinGap is the Fig. 8 acceptance criterion
+// for the ninth bar: on the progen-diamond workload the path-sensitive
+// pass elides STRICTLY more checks than the dominator-tree pass — the
+// join re-checks its diamond helpers exist to create — and attribution
+// partitions between the two cross-block counters.
+func TestDiamondWorkloadHitsTheJoinGap(t *testing.T) {
+	b := SyntheticByName("progen-diamond")
+	if b == nil {
+		t.Fatal("progen-diamond workload missing")
+	}
+	run := func(tool *sanitizers.Tool) *sanitizers.RunResult {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tool.Exec(prog, b.Entry, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ps := run(sanitizers.ToolEffectiveSan)
+	dom := run(sanitizers.ToolEffectiveSan.WithDomTreeElision().Named("EffectiveSan-domtree"))
+
+	psElided := ps.InstrStats.ElidedSubsume + ps.InstrStats.ElidedNarrows + ps.InstrStats.ElidedRechecks
+	domElided := dom.InstrStats.ElidedSubsume + dom.InstrStats.ElidedNarrows + dom.InstrStats.ElidedRechecks
+	if psElided <= domElided {
+		t.Fatalf("path-sensitive elided %d checks, dom-tree %d: want strictly more (the diamond-join gap)",
+			psElided, domElided)
+	}
+	if ps.InstrStats.ElidedPathSensitive <= dom.InstrStats.ElidedCrossBlock {
+		t.Errorf("path-sensitive cross-block wins %d, dom-tree %d: want strictly more",
+			ps.InstrStats.ElidedPathSensitive, dom.InstrStats.ElidedCrossBlock)
+	}
+	if ps.InstrStats.ElidedCrossBlock != 0 || dom.InstrStats.ElidedPathSensitive != 0 {
+		t.Errorf("elision attribution leaked across passes: ps=%+v dom=%+v",
+			ps.InstrStats, dom.InstrStats)
+	}
+	// Strictly fewer surviving checks must show up at runtime too.
+	if ps.Stats.BoundsChecks >= dom.Stats.BoundsChecks {
+		t.Errorf("path-sensitive executed %d bounds checks, dom-tree %d: want strictly fewer",
+			ps.Stats.BoundsChecks, dom.Stats.BoundsChecks)
+	}
+}
+
+// TestInteriorWorkloadMissesFastPath: the progen-interior workload's
+// hot checks arrive through interior pointers, so a significant share
+// of type checks must bypass the exact-match fast path and resolve in
+// the per-site inline caches — the workload the no-inline Fig. 8 bar
+// needs in order to separate.
+func TestInteriorWorkloadMissesFastPath(t *testing.T) {
+	b := SyntheticByName("progen-interior")
+	if b == nil {
+		t.Fatal("progen-interior workload missing")
+	}
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sanitizers.ToolEffectiveSan.Exec(prog, b.Entry, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.TypeChecks == 0 {
+		t.Fatal("no type checks ran")
+	}
+	offPath := st.TypeChecks - st.CheckFastPath
+	if float64(offPath)/float64(st.TypeChecks) < 0.5 {
+		t.Errorf("only %d/%d checks left the fast path; interior pointers not exercised",
+			offPath, st.TypeChecks)
+	}
+	if st.InlineCacheHits == 0 {
+		t.Error("inline caches never hit on the interior-pointer workload")
+	}
+}
