@@ -50,6 +50,10 @@ type fig10JSON struct {
 	Workloads  []string                  `json:"workloads"`
 	Browser    []harness.Fig10Row        `json:"browser"`
 	Scaling    []harness.Fig10ScalingRow `json:"scaling"`
+	// AllocScaling is the allocation-bound row: the alloc-heavy progen
+	// workload with per-worker heap magazines on vs off (empty when
+	// -alloc-heavy=false).
+	AllocScaling []harness.AllocHeavyRow `json:"alloc_scaling,omitempty"`
 }
 
 func main() {
@@ -60,6 +64,8 @@ func main() {
 		"top of the fig10 scalability thread curve (measures 1,2,4,... up to N)")
 	jobs := flag.Int("jobs", 16,
 		"jobs per workload per fig10 scalability point")
+	allocHeavy := flag.Bool("alloc-heavy", true,
+		"include the fig10 alloc-heavy row (per-worker heap magazines vs the locked central heap)")
 	jsonPath := flag.String("json", "",
 		"also write the fig8 series as JSON to this path (requires fig8 to run)")
 	json10Path := flag.String("json-fig10", "",
@@ -115,13 +121,24 @@ func main() {
 		curve := harness.ThreadCurve(*threads)
 		workloads := harness.Fig10ScalingWorkloads()
 		scaling, err := harness.Fig10Scaling(os.Stdout, curve, *jobs, workloads)
-		if err != nil || *json10Path == "" {
+		if err != nil {
 			return err
+		}
+		var alloc []harness.AllocHeavyRow
+		if *allocHeavy {
+			fmt.Println()
+			if alloc, err = harness.Fig10AllocHeavy(os.Stdout, curve, *jobs); err != nil {
+				return err
+			}
+		}
+		if *json10Path == "" {
+			return nil
 		}
 		return writeJSON(*json10Path, fig10JSON{
 			Experiment: "fig10", Threads: curve, Jobs: *jobs,
 			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 			Workloads: workloads, Browser: browser, Scaling: scaling,
+			AllocScaling: alloc,
 		})
 	})
 	run("tools", func() error {

@@ -15,8 +15,10 @@
 // The runtime is multi-tenant: one core.Runtime safely serves many
 // goroutines (the Fig. 10 browser sessions and the sharded SPEC worker
 // pool behind cmd/effbench -threads), with per-worker statistics
-// through Runtime.StatsView and atomic core.Stats counters aggregated
-// by the snapshot merge API.
+// through Runtime.StatsView, per-worker heap magazines through
+// Runtime.HeapView (batched refills over the central low-fat heap, so
+// steady-state allocation takes no shared lock), and atomic core.Stats
+// counters aggregated by the snapshot merge API.
 //
 // Start with README.md for the quickstart, the package map and how to
 // read the regenerated figures. docs/ARCHITECTURE.md describes the check

@@ -61,12 +61,24 @@ type Runtime struct {
 	types    *ctypes.Table
 	mem      *mem.Memory
 	heap     *lowfat.Allocator
+	alloc    heapHandle // allocation route: the central heap, or a per-worker magazine (HeapView)
 	layouts  *layout.Cache
 	memo     *checkCache  // §5.3 shared type-check memo cache; nil when disabled
 	inline   *inlineCache // §5.3 per-site inline caches; nil when disabled
 	Reporter *Reporter
 	stats    *Stats
 	reg      *typeRegistry
+}
+
+// heapHandle is the allocation interface the runtime routes Alloc/Free
+// through. Both *lowfat.Allocator (the central heap, the default) and
+// *lowfat.Magazine (a per-worker cache over it) satisfy it; everything
+// else — Size/Base arithmetic, metadata headers, canonical heap Stats —
+// is identical between the two routes.
+type heapHandle interface {
+	Alloc(size uint64) (uint64, error)
+	Free(p uint64) error
+	LegacyAlloc(size uint64) uint64
 }
 
 // typeRegistry is the metadata type registry mapping interned types to
@@ -91,10 +103,12 @@ func NewRuntime(opts Options) *Runtime {
 	if m == nil {
 		m = mem.New()
 	}
+	heap := lowfat.New(m, lowfat.Options{Quarantine: opts.Quarantine})
 	r := &Runtime{
 		types:    opts.Types,
 		mem:      m,
-		heap:     lowfat.New(m, lowfat.Options{Quarantine: opts.Quarantine}),
+		heap:     heap,
+		alloc:    heap,
 		layouts:  layout.NewCache(),
 		memo:     newCheckCache(opts.CheckCacheSize),
 		inline:   newInlineCache(opts.NoInlineCache),
@@ -123,6 +137,28 @@ func (r *Runtime) StatsView(st *Stats) *Runtime {
 	cp.stats = st
 	return &cp
 }
+
+// HeapView returns a view of the runtime that shares every structure
+// but routes allocations through the per-worker magazine m — the heap
+// analogue of StatsView. The sharded harness gives each worker goroutine
+// its own magazine over the shared central heap, so steady-state
+// TypeMalloc/TypeFree takes no shared lock while Size/Base arithmetic,
+// metadata headers and the canonical heap Stats stay global. A nil m
+// returns the receiver unchanged. Compose with StatsView:
+//
+//	view := rt.StatsView(sink).HeapView(rt.NewMagazine())
+func (r *Runtime) HeapView(m *lowfat.Magazine) *Runtime {
+	if m == nil {
+		return r
+	}
+	cp := *r
+	cp.alloc = m
+	return &cp
+}
+
+// NewMagazine returns a fresh per-worker magazine over the runtime's
+// central heap, for use with HeapView. Flush it when the worker retires.
+func (r *Runtime) NewMagazine() *lowfat.Magazine { return r.heap.NewMagazine() }
 
 // CheckCacheSlots returns the total slot count of the shared type-check
 // memo cache (0 when the cache is disabled) — for tests and benchmarks.
@@ -190,7 +226,7 @@ const (
 // allocator that stores {type, size} at the slot base and returns the
 // address just past the header. The returned memory is zeroed.
 func (r *Runtime) TypeMalloc(t *ctypes.Type, size uint64, kind AllocKind) (uint64, error) {
-	base, err := r.heap.Alloc(MetaSize + size)
+	base, err := r.alloc.Alloc(MetaSize + size)
 	if err != nil {
 		return 0, fmt.Errorf("type_malloc(%s, %d): %w", t, size, err)
 	}
@@ -223,7 +259,7 @@ func (r *Runtime) NewArray(t *ctypes.Type, n uint64, kind AllocKind) (uint64, er
 // custom memory allocators and uninstrumented libraries. Checks on the
 // returned pointers always succeed with wide bounds.
 func (r *Runtime) LegacyAlloc(size uint64) uint64 {
-	return r.heap.LegacyAlloc(size)
+	return r.alloc.LegacyAlloc(size)
 }
 
 // TypeFree deallocates the object at p: the metadata type is overwritten
@@ -255,7 +291,7 @@ func (r *Runtime) TypeFree(p uint64, site string) {
 	r.mem.Store(base, 8, freeTypeID)
 	// Size is preserved for diagnostics; the allocator keeps the header
 	// bytes intact until reuse.
-	if err := r.heap.Free(base); err != nil {
+	if err := r.alloc.Free(base); err != nil {
 		r.Reporter.Report(BadFree, "", err.Error(), 0, site)
 	}
 }

@@ -85,3 +85,46 @@ func TestFig10ScalingShape(t *testing.T) {
 		t.Error("rendered curve must record the machine's parallelism")
 	}
 }
+
+// TestFig10AllocHeavyShape smoke-tests the allocation-bound row: both
+// configurations at 1 and 2 threads, populated throughput fields, the
+// magazine rows carrying central-heap traffic counters (amortized well
+// below the operation count) and the nomagazines rows carrying none.
+func TestFig10AllocHeavyShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig10AllocHeavy(&buf, []int{1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 2 configs x 2 thread counts", len(rows))
+	}
+	for _, r := range rows {
+		if r.Allocs == 0 || r.Frees == 0 || r.AllocsPerSec <= 0 {
+			t.Errorf("%s x%d: empty alloc profile: %+v", r.Config, r.Threads, r)
+		}
+		switch r.Config {
+		case "EffectiveSan-magazines":
+			if r.Refills == 0 || r.Flushes == 0 {
+				t.Errorf("%s x%d: magazine rows must show central traffic", r.Config, r.Threads)
+			}
+			if trips := r.Refills + r.Flushes; trips*10 > r.Allocs+r.Frees {
+				t.Errorf("%s x%d: %d central trips for %d ops; amortization missing",
+					r.Config, r.Threads, trips, r.Allocs+r.Frees)
+			}
+		case "EffectiveSan-nomagazines":
+			if r.Refills != 0 || r.Flushes != 0 {
+				t.Errorf("%s x%d: nomagazines rows must not touch magazines", r.Config, r.Threads)
+			}
+		default:
+			t.Errorf("unexpected config %q", r.Config)
+		}
+	}
+	// The deterministic profile is identical across configurations.
+	if rows[0].Allocs != rows[2].Allocs || rows[0].Frees != rows[2].Frees {
+		t.Errorf("alloc profile differs across configs: %+v vs %+v", rows[0], rows[2])
+	}
+	if !strings.Contains(buf.String(), "alloc-heavy") {
+		t.Error("rendered table missing the alloc-heavy header")
+	}
+}

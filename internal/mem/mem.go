@@ -12,6 +12,14 @@
 // experiment of §6.3 exercises multi-threaded workloads); synchronisation
 // covers the page table, while racing byte accesses to the same address
 // are the simulated program's own concern, exactly as on real hardware.
+//
+// The page table is striped: each stripe holds an immutable
+// copy-on-write map republished atomically on page materialisation, so
+// accesses to already-materialised pages — the steady state — are
+// entirely lock-free, and materialisation of fresh pages only contends
+// within one stripe. Stripes mix the low-fat region index with the page
+// index, so the per-size-class regions of the low-fat layout spread
+// across stripes instead of re-serialising on one page-table lock.
 package mem
 
 import (
@@ -29,22 +37,49 @@ const PageBits = 16
 // PageSize is the size of one page in bytes.
 const PageSize = 1 << PageBits
 
+// stripeBits is the log2 of the page-table stripe count.
+const stripeBits = 6
+
+// numStripes is the number of page-table stripes.
+const numStripes = 1 << stripeBits
+
 // Memory is a sparse 64-bit address space. The zero value is not usable;
 // call New.
 type Memory struct {
-	mu    sync.RWMutex
-	pages map[uint64]*page
+	stripes [numStripes]stripe
 
 	touched atomic.Int64 // pages materialised so far
+}
+
+// stripe is one shard of the page table. pages holds an immutable map
+// republished under mu on every insert (pages are never unmapped, and
+// materialisation is rare next to access), so the read path is one
+// atomic load plus a map lookup — no lock.
+type stripe struct {
+	mu    sync.Mutex
+	pages atomic.Pointer[map[uint64]*page]
 }
 
 type page struct {
 	data [PageSize]byte
 }
 
+// stripeOf maps a page index to its stripe: the low-fat region index
+// (pageIdx >> (32-PageBits)) XOR the page index, so distinct size-class
+// regions land on distinct stripes and large spans within one region
+// still spread.
+func stripeOf(pageIdx uint64) uint64 {
+	return (pageIdx ^ (pageIdx >> (32 - PageBits))) & (numStripes - 1)
+}
+
 // New returns an empty address space.
 func New() *Memory {
-	return &Memory{pages: make(map[uint64]*page)}
+	m := &Memory{}
+	for i := range m.stripes {
+		empty := make(map[uint64]*page)
+		m.stripes[i].pages.Store(&empty)
+	}
+	return m
 }
 
 // TouchedBytes returns the number of bytes of backing store materialised
@@ -55,19 +90,24 @@ func (m *Memory) TouchedBytes() int64 {
 }
 
 func (m *Memory) page(idx uint64, create bool) *page {
-	m.mu.RLock()
-	p := m.pages[idx]
-	m.mu.RUnlock()
-	if p != nil || !create {
+	s := &m.stripes[stripeOf(idx)]
+	if p := (*s.pages.Load())[idx]; p != nil || !create {
 		return p
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if p = m.pages[idx]; p == nil {
-		p = new(page)
-		m.pages[idx] = p
-		m.touched.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.pages.Load()
+	if p := cur[idx]; p != nil {
+		return p
 	}
+	next := make(map[uint64]*page, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	p := new(page)
+	next[idx] = p
+	s.pages.Store(&next)
+	m.touched.Add(1)
 	return p
 }
 
@@ -153,14 +193,47 @@ func (m *Memory) WriteBytes(addr uint64, buf []byte) {
 	}
 }
 
+// copyBufPool recycles the bounded staging buffer Copy moves data
+// through, so large memmoves allocate nothing per call.
+var copyBufPool = sync.Pool{
+	New: func() any { return new([PageSize]byte) },
+}
+
 // Copy copies n bytes from src to dst, handling overlap like memmove.
+// The copy proceeds page-sized chunk by chunk through a pooled bounded
+// buffer — never an n-byte scratch allocation — walking forward when dst
+// precedes src and backward when the destination overlaps the source
+// from above, so each chunk reads its source bytes before any chunk
+// overwrites them.
 func (m *Memory) Copy(dst, src, n uint64) {
 	if n == 0 || dst == src {
 		return
 	}
-	buf := make([]byte, n)
-	m.ReadBytes(src, buf)
-	m.WriteBytes(dst, buf)
+	buf := copyBufPool.Get().(*[PageSize]byte)
+	defer copyBufPool.Put(buf)
+	if dst > src && dst < src+n {
+		// Overlapping with dst above src: copy chunks back to front.
+		for done := uint64(0); done < n; {
+			c := uint64(PageSize)
+			if n-done < c {
+				c = n - done
+			}
+			start := n - done - c
+			m.ReadBytes(src+start, buf[:c])
+			m.WriteBytes(dst+start, buf[:c])
+			done += c
+		}
+		return
+	}
+	for done := uint64(0); done < n; {
+		c := uint64(PageSize)
+		if n-done < c {
+			c = n - done
+		}
+		m.ReadBytes(src+done, buf[:c])
+		m.WriteBytes(dst+done, buf[:c])
+		done += c
+	}
 }
 
 // Set fills [addr, addr+n) with byte b, like memset.
@@ -168,7 +241,10 @@ func (m *Memory) Set(addr uint64, b byte, n uint64) {
 	if n == 0 {
 		return
 	}
-	chunk := make([]byte, min(int(n), PageSize))
+	buf := copyBufPool.Get().(*[PageSize]byte)
+	defer copyBufPool.Put(buf)
+	c := min(int(n), PageSize)
+	chunk := buf[:c]
 	for i := range chunk {
 		chunk[i] = b
 	}

@@ -153,3 +153,91 @@ func TestStoreLoadProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCopyOverlapLarge exercises the chunked memmove in both walk
+// directions across page boundaries: dst above src (backward walk) and
+// dst below src (forward walk), with multi-page overlapping spans.
+func TestCopyOverlapLarge(t *testing.T) {
+	const n = 3*PageSize + 123
+	pattern := make([]byte, n)
+	for i := range pattern {
+		pattern[i] = byte(i*31 + i>>8)
+	}
+	for _, shift := range []int64{1, 17, PageSize - 1, PageSize, PageSize + 9, -1, -PageSize, -(PageSize + 7)} {
+		m := New()
+		src := uint64(5 * PageSize)
+		dst := uint64(int64(src) + shift)
+		m.WriteBytes(src, pattern)
+		m.Copy(dst, src, n)
+		got := make([]byte, n)
+		m.ReadBytes(dst, got)
+		if !bytes.Equal(got, pattern) {
+			t.Fatalf("shift %d: overlapping Copy corrupted data", shift)
+		}
+	}
+}
+
+// TestStripedMaterialization hammers page creation across regions from
+// many goroutines: every page must materialise exactly once (TouchedBytes
+// exact) and reads must see the writes.
+func TestStripedMaterialization(t *testing.T) {
+	m := New()
+	const pages = 64
+	const workers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := uint64(0); i < pages; i++ {
+				// All goroutines race to materialise the same page set
+				// (spanning several 4 GiB regions, hence stripes), each
+				// writing its own disjoint slot within the page.
+				addr := i*PageSize + (i%4)<<32 + uint64(g)*8
+				m.Store(addr, 8, i+uint64(g)+1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := m.TouchedBytes(); got != pages*PageSize {
+		t.Fatalf("TouchedBytes = %d, want %d (pages must materialise once)", got, pages*PageSize)
+	}
+	for g := uint64(0); g < workers; g++ {
+		for i := uint64(0); i < pages; i++ {
+			addr := i*PageSize + (i%4)<<32 + g*8
+			if got := m.Load(addr, 8); got != i+g+1 {
+				t.Fatalf("page %d worker %d: Load = %d, want %d", i, g, got, i+g+1)
+			}
+		}
+	}
+}
+
+// BenchmarkCopyLarge pins the satellite fix: an 8 MiB memmove goes
+// through the pooled page-sized staging buffer, so per-call allocation
+// is gone (the old code allocated an n-byte scratch slice every call).
+func BenchmarkCopyLarge(b *testing.B) {
+	m := New()
+	const n = 8 << 20
+	dst := uint64(n + PageSize)
+	m.Set(0, 0xab, n)
+	m.Set(dst, 0, n) // pre-materialise the destination pages
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Copy(dst, 0, n)
+	}
+}
+
+// BenchmarkCopyOverlapping measures the backward walk (dst inside the
+// source span), which the bounded buffer must also serve without
+// allocating.
+func BenchmarkCopyOverlapping(b *testing.B) {
+	m := New()
+	const n = 4 << 20
+	m.Set(0, 0xcd, n+PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Copy(PageSize/2, 0, n)
+	}
+}

@@ -52,7 +52,17 @@ type Hooks interface {
 // PlainEnv is the uninstrumented environment: a low-fat heap with no
 // metadata and no checks. It is the baseline of Figs. 8-10.
 type PlainEnv struct {
-	heap *lowfat.Allocator
+	heap  *lowfat.Allocator
+	alloc heapHandle // allocation route: the central heap or a per-worker magazine
+}
+
+// heapHandle is the allocation interface PlainEnv routes through —
+// satisfied by both *lowfat.Allocator and *lowfat.Magazine (the same
+// split core.Runtime.HeapView threads through the EffectiveSan side).
+type heapHandle interface {
+	Alloc(size uint64) (uint64, error)
+	Free(p uint64) error
+	LegacyAlloc(size uint64) uint64
 }
 
 // NewPlainEnv returns a plain environment over m (a fresh memory if nil).
@@ -60,7 +70,21 @@ func NewPlainEnv(m *mem.Memory) *PlainEnv {
 	if m == nil {
 		m = mem.New()
 	}
-	return &PlainEnv{heap: lowfat.New(m, lowfat.Options{})}
+	heap := lowfat.New(m, lowfat.Options{})
+	return &PlainEnv{heap: heap, alloc: heap}
+}
+
+// View returns a shallow copy of the environment that routes allocations
+// through the per-worker magazine mag (sharing the same central heap and
+// memory) — the uninstrumented analogue of core.Runtime.HeapView. A nil
+// mag returns the receiver unchanged.
+func (e *PlainEnv) View(mag *lowfat.Magazine) *PlainEnv {
+	if mag == nil {
+		return e
+	}
+	cp := *e
+	cp.alloc = mag
+	return &cp
 }
 
 // Heap exposes the underlying allocator (for memory statistics).
@@ -71,7 +95,7 @@ func (e *PlainEnv) Mem() *mem.Memory { return e.heap.Mem() }
 
 // Malloc allocates size bytes, ignoring the type.
 func (e *PlainEnv) Malloc(_ *ctypes.Type, size uint64, _ core.AllocKind, site string) uint64 {
-	p, err := e.heap.Alloc(size)
+	p, err := e.alloc.Alloc(size)
 	if err != nil {
 		panic(simError{fmt.Sprintf("%s: %v", site, err)})
 	}
@@ -84,12 +108,12 @@ func (e *PlainEnv) Free(p uint64, _ string) {
 	if p == 0 {
 		return
 	}
-	_ = e.heap.Free(p)
+	_ = e.alloc.Free(p)
 }
 
 // Realloc resizes by allocate-copy-free.
 func (e *PlainEnv) Realloc(p uint64, size uint64, site string) uint64 {
-	q, err := e.heap.Alloc(size)
+	q, err := e.alloc.Alloc(size)
 	if err != nil {
 		panic(simError{fmt.Sprintf("%s: %v", site, err)})
 	}
@@ -100,13 +124,13 @@ func (e *PlainEnv) Realloc(p uint64, size uint64, site string) uint64 {
 			n = size
 		}
 		e.Mem().Copy(q, p, n)
-		_ = e.heap.Free(p)
+		_ = e.alloc.Free(p)
 	}
 	return q
 }
 
 // LegacyAlloc carves from the legacy region.
-func (e *PlainEnv) LegacyAlloc(size uint64) uint64 { return e.heap.LegacyAlloc(size) }
+func (e *PlainEnv) LegacyAlloc(size uint64) uint64 { return e.alloc.LegacyAlloc(size) }
 
 // EffEnv is the EffectiveSan environment: allocations are typed through
 // the core runtime (type_malloc/type_free), and the instrumentation

@@ -40,6 +40,14 @@ type Options struct {
 	// at a sub-object offset instead of the exact-match fast path —
 	// the workload shape that exercises the per-site inline caches.
 	Interior bool
+	// AllocHeavy emits tight malloc/free churn helpers across mixed
+	// size classes (16 B to past the 4 KiB class boundary, plus a
+	// node-churn and a batch build/drop loop) and drives them every
+	// round from main — the allocation-bound workload whose throughput
+	// is gated by the heap's locking discipline, not by checks. It backs
+	// the Fig. 10 alloc-heavy scaling row comparing per-worker magazine
+	// allocation against the serialized central heap.
+	AllocHeavy bool
 }
 
 func (o *Options) fill() {
@@ -90,6 +98,9 @@ func Generate(seed int64, opts Options) string {
 	}
 	if opts.Interior {
 		g.emitInterior()
+	}
+	if opts.AllocHeavy {
+		g.emitAllocHeavy()
 	}
 	g.emitMain(opts)
 	return g.sb.String()
@@ -282,6 +293,47 @@ long span_sum(int *s, int n) {
 `)
 }
 
+// churnCounts are the long-array lengths of the alloc-heavy churn
+// helpers: requests of 16 B to 4120 B, spanning the fine-grained
+// 16-byte-step classes and reaching the per-octave classes past the
+// 4 KiB boundary. (Instrumented runs add the 16-byte metadata header,
+// shifting each request one step up; the spread across well-separated
+// classes is what matters, not the exact class indices.)
+var churnCounts = []int{2, 8, 32, 129, 515}
+
+// emitAllocHeavy emits the malloc/free churn helpers: one tight
+// alloc-touch-free loop per size class in churnCounts, plus a node churn
+// over the linked-list type. Every allocation is written and read before
+// being freed so the loop is a real workload, not dead code, and every
+// free matches exactly one malloc — the program stays clean by
+// construction, like everything progen generates.
+func (g *gen) emitAllocHeavy() {
+	for _, k := range churnCounts {
+		g.pf("long churn_%d(int n) {\n", k)
+		g.pf("    long acc = 0;\n")
+		g.pf("    for (int i = 0; i < n; i++) {\n")
+		g.pf("        long *p = malloc(%d * sizeof(long));\n", k)
+		g.pf("        p[0] = (long)(i + %d);\n", k)
+		g.pf("        p[%d] = p[0] + 1;\n", k-1)
+		g.pf("        acc += p[%d];\n", k-1)
+		g.pf("        free(p);\n")
+		g.pf("    }\n")
+		g.pf("    return acc;\n}\n\n")
+	}
+	g.pf(`long churn_node(int n) {
+    long acc = 0;
+    for (int i = 0; i < n; i++) {
+        struct GenNode *m = new struct GenNode;
+        m->v = (long)i;
+        acc += m->v;
+        free(m);
+    }
+    return acc;
+}
+
+`)
+}
+
 // emitMain drives everything: typed heap arrays, sweeps, a list, and a
 // deterministic checksum return value.
 func (g *gen) emitMain(opts Options) {
@@ -327,6 +379,22 @@ func (g *gen) emitMain(opts Options) {
 			g.pf("    for (int r = 0; r < %d; r++) { acc += diamond_%d(dp, dq, r & 3); }\n",
 				opts.Rounds, d)
 		}
+	}
+	if opts.AllocHeavy {
+		// The allocation-bound inner loops: per-class churn helpers plus
+		// a batch build/drop that stacks frees up before releasing them.
+		inner := 8 + g.r.Intn(8)
+		g.pf("    for (int r = 0; r < %d; r++) {\n", opts.Rounds)
+		for _, k := range churnCounts {
+			g.pf("        acc += churn_%d(%d);\n", k, inner)
+		}
+		g.pf("        acc += churn_node(%d);\n", inner)
+		batch := 12 + g.r.Intn(12)
+		g.pf("        struct GenNode *ch = null;\n")
+		g.pf("        for (int i = 0; i < %d; i++) { ch = gen_push(ch, (long)(i + r)); }\n", batch)
+		g.pf("        acc += gen_sum(ch);\n")
+		g.pf("        gen_drop(ch);\n")
+		g.pf("    }\n")
 	}
 	listLen := 4 + g.r.Intn(12)
 	g.pf("    struct GenNode *head = null;\n")

@@ -2,6 +2,7 @@ package progen
 
 import (
 	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/cc"
@@ -147,5 +148,80 @@ func TestDiamondInteriorSoundness(t *testing.T) {
 					seed, tool.Name, res.Value, want)
 			}
 		}
+	}
+}
+
+// TestAllocHeavySoundness extends the differential net to the
+// alloc-heavy shape: tight malloc/free churn must stay clean (no
+// reports) and semantics-preserving under every variant, sharded or
+// not — it exists to stress the allocator, not to change detection.
+func TestAllocHeavySoundness(t *testing.T) {
+	tools := []*sanitizers.Tool{
+		sanitizers.ToolUninstrumented,
+		sanitizers.ToolEffectiveSan,
+		sanitizers.ToolEffBounds,
+		sanitizers.ToolEffType,
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		src := Generate(seed, Options{Types: 2, Rounds: 4, AllocHeavy: true})
+		var want uint64
+		for i, tool := range tools {
+			prog, err := cc.Compile(src, ctypes.NewTable())
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			res, err := tool.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatalf("seed %d under %s: %v", seed, tool.Name, err)
+			}
+			if res.Reporter.Total() > 0 {
+				t.Errorf("seed %d under %s: FALSE POSITIVE\n%s",
+					seed, tool.Name, res.Reporter.Log())
+			}
+			if i == 0 {
+				want = res.Value
+			} else if res.Value != want {
+				t.Errorf("seed %d under %s: result %d, want %d (semantics changed)",
+					seed, tool.Name, res.Value, want)
+			}
+		}
+		// Sharded with and without magazines: same result, no reports.
+		prog, err := cc.Compile(src, ctypes.NewTable())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tool := range []*sanitizers.Tool{
+			sanitizers.ToolEffectiveSan.Counting(),
+			sanitizers.ToolEffectiveSan.Counting().WithoutMagazines().Named("EffectiveSan-nomag"),
+		} {
+			res, err := tool.ExecSharded(prog, "main", 4, 2, io.Discard)
+			if err != nil {
+				t.Fatalf("seed %d sharded under %s: %v", seed, tool.Name, err)
+			}
+			if res.Reporter.Total() > 0 {
+				t.Errorf("seed %d sharded under %s: FALSE POSITIVE", seed, tool.Name)
+			}
+			if res.Value != want {
+				t.Errorf("seed %d sharded under %s: result %d, want %d", seed, tool.Name, res.Value, want)
+			}
+		}
+	}
+}
+
+// TestAllocHeavyShape: the option adds the churn helpers and leaves the
+// base RNG stream untouched.
+func TestAllocHeavyShape(t *testing.T) {
+	base := Generate(7, Options{})
+	heavy := Generate(7, Options{AllocHeavy: true})
+	if heavy == base {
+		t.Fatal("AllocHeavy did not change the program")
+	}
+	for _, fn := range []string{"churn_2", "churn_515", "churn_node"} {
+		if !strings.Contains(heavy, fn) {
+			t.Fatalf("alloc-heavy source missing %s", fn)
+		}
+	}
+	if Generate(7, Options{}) != base {
+		t.Fatal("AllocHeavy plumbing broke base determinism")
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/instrument"
+	"repro/internal/lowfat"
 	"repro/internal/mir"
 )
 
@@ -27,6 +28,10 @@ type WorkerStats struct {
 	Jobs   int                `json:"jobs"`   // jobs this worker completed
 	BusyNs int64              `json:"busy_ns"`
 	Stats  core.StatsSnapshot `json:"-"` // this worker's runtime counters
+	// Magazine reports the worker's heap-magazine activity (zero when
+	// magazines are disabled): Allocs/Refills is the lock-amortization
+	// ratio the per-worker heap buys.
+	Magazine lowfat.MagazineStats `json:"magazine"`
 }
 
 // Busy is the time the worker spent executing jobs (including idle tail
@@ -65,11 +70,14 @@ func (r *ShardedResult) TotalBusy() time.Duration {
 
 // ExecSharded runs `jobs` executions of prog's entry function on a pool
 // of `threads` worker goroutines sharing one environment. EffectiveSan
-// variants share a single core.Runtime (one allocator, one reporter, one
-// set of caches) with a per-worker statistics view; the uninstrumented
-// baseline shares a single plain environment. Hook-based baseline
-// sanitizers are not supported (their shadow state is not thread-safe,
-// the same reason the real tools cannot run Firefox, §6.3).
+// variants share a single core.Runtime (one central heap, one reporter,
+// one set of caches) with a per-worker statistics view and — unless
+// Tool.NoMagazines — a per-worker heap magazine, so steady-state
+// Alloc/Free never takes the central heap's mutex; the uninstrumented
+// baseline shares a single plain environment, magazines likewise.
+// Hook-based baseline sanitizers are not supported (their shadow state
+// is not thread-safe, the same reason the real tools cannot run
+// Firefox, §6.3).
 //
 // Jobs are handed out from a shared atomic queue, so workers that finish
 // early steal the remainder; each worker runs its own interpreter (its
@@ -136,9 +144,18 @@ func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, o
 			ws.Worker = w
 			var env mir.Env
 			var sink *core.Stats
+			var mag *lowfat.Magazine
 			if rt != nil {
 				sink = &core.Stats{}
-				env = mir.NewEffEnv(rt.StatsView(sink))
+				view := rt.StatsView(sink)
+				if !t.NoMagazines {
+					mag = rt.NewMagazine()
+					view = view.HeapView(mag)
+				}
+				env = mir.NewEffEnv(view)
+			} else if !t.NoMagazines {
+				mag = plain.Heap().NewMagazine()
+				env = plain.View(mag)
 			} else {
 				env = plain
 			}
@@ -164,6 +181,14 @@ func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, o
 				ws.Jobs++
 			}
 			ws.BusyNs = time.Since(begin).Nanoseconds()
+			if mag != nil {
+				// Return cached slots to the central heap so nothing is
+				// stranded when the worker retires; canonical Stats never
+				// depended on the flush (magazines account atomically at
+				// operation time).
+				mag.Flush()
+				ws.Magazine = mag.Stats()
+			}
 			if sink != nil {
 				ws.Stats = sink.Snapshot()
 			}

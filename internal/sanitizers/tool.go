@@ -46,6 +46,12 @@ type Tool struct {
 	// Fig. 8 ablation; loses the diamond-join wins) —
 	// instrument.Options.DomTreeElision.
 	DomTreeElision bool
+	// NoMagazines makes sharded workers allocate directly from the
+	// shared central heap instead of through per-worker magazines (the
+	// serialized-allocator ablation for the alloc-heavy Fig. 10 row).
+	// Single-threaded Exec never uses magazines, so the knob only
+	// affects ExecSharded / Threads > 1.
+	NoMagazines bool
 	// Threads > 1 makes Exec run the entry once per worker goroutine
 	// against one shared runtime (the §6.1 multi-threaded mode; see
 	// ExecSharded for the pool semantics). 0 and 1 both mean the classic
@@ -103,6 +109,16 @@ func (t *Tool) PerBlockElision() *Tool {
 func (t *Tool) WithDomTreeElision() *Tool {
 	cp := *t
 	cp.DomTreeElision = true
+	return &cp
+}
+
+// WithoutMagazines returns a copy of the tool whose sharded workers
+// share the central heap lock on every Alloc/Free instead of caching
+// slots in per-worker magazines — the ablation that prices the
+// allocator de-serialization.
+func (t *Tool) WithoutMagazines() *Tool {
+	cp := *t
+	cp.NoMagazines = true
 	return &cp
 }
 

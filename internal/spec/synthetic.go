@@ -38,9 +38,26 @@ func Synthetic() []*Benchmark {
 	}
 }
 
-// SyntheticByName returns the named synthetic workload, or nil.
+// AllocHeavy returns the allocation-bound workload behind the Fig. 10
+// alloc-heavy scaling row: tight malloc/free churn loops across mixed
+// size classes (progen.Options.AllocHeavy), so throughput is gated by
+// the heap's locking discipline rather than by check volume. It is kept
+// out of Synthetic() — it prices the allocator, not the check
+// optimiser, so it joins the Fig. 10 curve instead of the Fig. 8 bars.
+func AllocHeavy() *Benchmark {
+	return &Benchmark{
+		Name: "progen-alloc",
+		Source: progen.Generate(47, progen.Options{
+			Types: 2, Funcs: 1, Rounds: 24, AllocHeavy: true,
+		}),
+		Entry: "main",
+	}
+}
+
+// SyntheticByName returns the named synthetic workload (including the
+// alloc-heavy one), or nil.
 func SyntheticByName(name string) *Benchmark {
-	for _, b := range Synthetic() {
+	for _, b := range append(Synthetic(), AllocHeavy()) {
 		if b.Name == name {
 			return b
 		}

@@ -115,3 +115,42 @@ func TestInteriorWorkloadMissesFastPath(t *testing.T) {
 		t.Error("inline caches never hit on the interior-pointer workload")
 	}
 }
+
+// TestAllocHeavyWorkload: the Fig. 10 alloc-heavy workload is clean,
+// deterministic, reachable through SyntheticByName, and actually
+// allocation-bound — heap operations dominate its dynamic profile far
+// beyond any Fig. 7 kernel's ratio.
+func TestAllocHeavyWorkload(t *testing.T) {
+	b := SyntheticByName("progen-alloc")
+	if b == nil || b != nil && b.Name != AllocHeavy().Name {
+		t.Fatal("progen-alloc must resolve through SyntheticByName")
+	}
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i, tool := range []*sanitizers.Tool{
+		sanitizers.ToolUninstrumented,
+		sanitizers.ToolEffectiveSan,
+	} {
+		res, err := tool.Exec(prog, b.Entry, io.Discard)
+		if err != nil {
+			t.Fatalf("%s: %v", tool.Name, err)
+		}
+		if res.Reporter.Total() > 0 {
+			t.Errorf("%s: FALSE POSITIVE\n%s", tool.Name, res.Reporter.Log())
+		}
+		if i == 0 {
+			want = res.Value
+		} else if res.Value != want {
+			t.Errorf("%s: result %d, want %d", tool.Name, res.Value, want)
+		}
+		if tool == sanitizers.ToolEffectiveSan {
+			ops := res.Stats.HeapAllocs + res.Stats.Frees
+			if ops < 2000 {
+				t.Errorf("alloc-heavy workload made only %d heap ops; not allocation-bound", ops)
+			}
+		}
+	}
+}
