@@ -4,7 +4,7 @@
 //
 //	effbench -experiment fig1    sanitizer capability matrix (Fig. 1)
 //	effbench -experiment fig7    SPEC2006 summary: checks and issues (Fig. 7)
-//	effbench -experiment fig8    SPEC2006 + progen timings, nine configurations (Fig. 8)
+//	effbench -experiment fig8    SPEC2006 + progen timings, ten configurations (Fig. 8)
 //	effbench -experiment fig9    peak memory (Fig. 9)
 //	effbench -experiment fig10   browser workloads (relative time) and the
 //	                             sharded multi-threaded SPEC scalability curve
@@ -54,6 +54,11 @@ type fig10JSON struct {
 	// workload with per-worker heap magazines on vs off (empty when
 	// -alloc-heavy=false).
 	AllocScaling []harness.AllocHeavyRow `json:"alloc_scaling,omitempty"`
+	// Caveat flags measurement conditions that make the scaling rows
+	// unfit for speedup conclusions — currently set when GOMAXPROCS is 1,
+	// where every thread count serializes onto one core and the curve is
+	// flat by construction.
+	Caveat string `json:"caveat,omitempty"`
 }
 
 func main() {
@@ -119,6 +124,13 @@ func main() {
 		}
 		fmt.Println()
 		curve := harness.ThreadCurve(*threads)
+		caveat := ""
+		if runtime.GOMAXPROCS(0) == 1 {
+			caveat = "scaling rows measured with GOMAXPROCS=1: all workers " +
+				"share one core, so a flat speedup curve is expected and " +
+				"says nothing about the runtime's scalability"
+			fmt.Fprintf(os.Stderr, "effbench: warning: %s\n", caveat)
+		}
 		workloads := harness.Fig10ScalingWorkloads()
 		scaling, err := harness.Fig10Scaling(os.Stdout, curve, *jobs, workloads)
 		if err != nil {
@@ -138,7 +150,7 @@ func main() {
 			Experiment: "fig10", Threads: curve, Jobs: *jobs,
 			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 			Workloads: workloads, Browser: browser, Scaling: scaling,
-			AllocScaling: alloc,
+			AllocScaling: alloc, Caveat: caveat,
 		})
 	})
 	run("tools", func() error {

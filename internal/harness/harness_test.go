@@ -87,13 +87,14 @@ func TestFig8Ordering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// All nine bars must be present with positive timings, on the 19
-	// SPEC rows and the two synthetic progen rows.
+	// All ten bars must be present with positive timings, on the 19
+	// SPEC rows and the four synthetic progen rows.
 	wantBars := []string{"Uninstrumented", "EffectiveSan", "EffectiveSan-noopt",
 		"EffectiveSan-nocache", "EffectiveSan-noinline", "EffectiveSan-perblock",
-		"EffectiveSan-domtree", "EffectiveSan-bounds", "EffectiveSan-type"}
-	if len(rows) != 21 {
-		t.Fatalf("%d rows, want 21 (19 SPEC + 2 progen)", len(rows))
+		"EffectiveSan-domtree", "EffectiveSan-nomotion",
+		"EffectiveSan-bounds", "EffectiveSan-type"}
+	if len(rows) != 23 {
+		t.Fatalf("%d rows, want 23 (19 SPEC + 4 progen)", len(rows))
 	}
 	for _, r := range rows {
 		if len(r.Seconds) != len(wantBars) {

@@ -24,15 +24,27 @@ import (
 //   - the BLOCK-LOCAL pass (Options.NoCrossBlockElision): no facts
 //     cross block boundaries at all.
 //
-// Three kinds of facts are tracked per register:
+// Three kinds of facts are tracked:
 //
 //   - checkedBy: the largest constant size a bounds check of the
 //     register has verified (subsumes later, smaller checks);
 //   - lastNarrow: the extent the register's bounds were last narrowed to
 //     (a repeat narrow to the same extent is a no-op);
-//   - lastType: the static type the register was last type-checked
-//     against (re-checking the same provenance against the same type
-//     recomputes the same bounds — §5.3's redundant-check removal).
+//   - lastType: the static type a VALUE was last type-checked against
+//     (re-checking the same provenance against the same type recomputes
+//     the same bounds — §5.3's redundant-check removal). Under the
+//     path-sensitive pass this map is keyed by VALUE NUMBER
+//     (mir.ValueTable) where one exists, so `(T*)buf` recomputed into a
+//     fresh temporary elides against the first computation's check; the
+//     fact then records its HOLDER — the register whose bounds register
+//     holds the check result — and eliding a check of a different
+//     register rewrites it to a cheap OpBoundsMov from the holder
+//     instead of deleting it outright.
+//
+// checkedBy and lastNarrow stay REGISTER-keyed even under value
+// numbering: their outcomes depend on the content of the bounds
+// register, which two same-valued registers need not share (one may
+// carry narrowed bounds, the other fresh ones).
 //
 // Soundness around deallocation: free, realloc and calls (which may
 // free) can rebind an object's metadata to FREE, changing what a type
@@ -44,6 +56,40 @@ import (
 // so a use-after-free on one arm of a branch is still re-checked and
 // reported at the join.
 
+// vnKeyBase offsets value-number fact keys so they can never collide
+// with register-indexed keys (registers are bounded by NumRegs, far
+// below 2^32).
+const vnKeyBase = int64(1) << 32
+
+// elideCtx carries the per-function configuration the fact engine needs:
+// the type-check-reuse gate and, under the path-sensitive pass with
+// check motion enabled, the value-number table that keys lastType facts
+// on values.
+type elideCtx struct {
+	reuse bool
+	vals  *mir.ValueTable // nil: key lastType on registers
+}
+
+// key returns the lastType fact key for a register: its value number
+// (offset by vnKeyBase) when the register is stable and numbered, the
+// register index itself otherwise. A value-numbered key never needs
+// invalidation on redefinition — numbered registers are single-def by
+// construction, so the keyed value can never change; only the holder's
+// bounds can die.
+func (c *elideCtx) key(r int) int64 {
+	if c.vals != nil {
+		if v := c.vals.VN(r); v >= 0 {
+			return vnKeyBase + int64(v)
+		}
+	}
+	return int64(r)
+}
+
+// sameValue reports whether two registers provably hold the same value.
+func (c *elideCtx) sameValue(a, b int) bool {
+	return c.vals != nil && c.vals.SameValue(a, b)
+}
+
 // sizeFact and typeFact carry a fact plus whether it was inherited from
 // another block (inherited elisions are the cross-block wins the
 // per-block pass cannot see). The inherited flag is attribution
@@ -54,22 +100,26 @@ type sizeFact struct {
 }
 
 type typeFact struct {
-	t         *ctypes.Type
+	t *ctypes.Type
+	// holder is the register whose bounds register holds the check's
+	// result. Any rewrite of the holder's bounds (a new check, a narrow,
+	// a value redefinition) kills the fact.
+	holder    int
 	inherited bool
 }
 
 // elideState is the fact set at one program point.
 type elideState struct {
-	checkedBy  map[int]sizeFact // reg -> largest bounds-checked size
-	lastNarrow map[int]sizeFact // reg -> last narrow extent
-	lastType   map[int]typeFact // reg -> static type last checked against
+	checkedBy  map[int]sizeFact   // reg -> largest bounds-checked size
+	lastNarrow map[int]sizeFact   // reg -> last narrow extent
+	lastType   map[int64]typeFact // fact key (reg or VN) -> last checked type
 }
 
 func newElideState() *elideState {
 	return &elideState{
 		checkedBy:  map[int]sizeFact{},
 		lastNarrow: map[int]sizeFact{},
-		lastType:   map[int]typeFact{},
+		lastType:   map[int64]typeFact{},
 	}
 }
 
@@ -82,8 +132,8 @@ func (s *elideState) clone() *elideState {
 	for r, f := range s.lastNarrow {
 		n.lastNarrow[r] = f
 	}
-	for r, f := range s.lastType {
-		n.lastType[r] = f
+	for k, f := range s.lastType {
+		n.lastType[k] = f
 	}
 	return n
 }
@@ -100,22 +150,42 @@ func (s *elideState) inherit() *elideState {
 		f.inherited = true
 		n.lastNarrow[r] = f
 	}
-	for r, f := range s.lastType {
+	for k, f := range s.lastType {
 		f.inherited = true
-		n.lastType[r] = f
+		n.lastType[k] = f
 	}
 	return n
 }
 
+// killHolder drops every lastType fact whose result lives in reg's
+// bounds register — called whenever bounds[reg] is rewritten.
+func (s *elideState) killHolder(reg int) {
+	for k, f := range s.lastType {
+		if f.holder == reg {
+			delete(s.lastType, k)
+		}
+	}
+}
+
+// invalidate forgets everything about a redefined register: its
+// register-keyed facts and every fact whose bounds it was holding.
+// Value-number-keyed facts about OTHER holders survive — a numbered
+// register is single-def, so the def establishing it cannot change the
+// keyed value.
 func (s *elideState) invalidate(reg int) {
 	delete(s.checkedBy, reg)
 	delete(s.lastNarrow, reg)
-	delete(s.lastType, reg)
+	delete(s.lastType, int64(reg))
+	s.killHolder(reg)
 }
 
 // propagate carries the check state from src to dst when the value and
-// its bounds register both copy (mov, pointer-identity cast).
-func (s *elideState) propagate(dst, src int) {
+// its bounds register both copy (mov, pointer-identity cast). A
+// lastType fact held by src itself transfers its holdership to dst —
+// dst's bounds register now holds the same result — keeping the
+// same-register fast path (plain elision, no OpBoundsMov) intact for
+// copy chains.
+func (s *elideState) propagate(ctx *elideCtx, dst, src int) {
 	s.invalidate(dst)
 	if f, ok := s.checkedBy[src]; ok {
 		s.checkedBy[dst] = f
@@ -123,16 +193,40 @@ func (s *elideState) propagate(dst, src int) {
 	if f, ok := s.lastNarrow[src]; ok {
 		s.lastNarrow[dst] = f
 	}
-	if f, ok := s.lastType[src]; ok {
-		s.lastType[dst] = f
+	if f, ok := s.lastType[ctx.key(src)]; ok {
+		if f.holder == src {
+			f.holder = dst
+		}
+		s.lastType[ctx.key(dst)] = f
+	}
+}
+
+// applyBoundsMov models bounds[dst] = bounds[src]: dst's bounds-content
+// facts die (and anything dst's bounds were holding), then mirror src's
+// — but only when the two registers provably hold the same VALUE, since
+// checkedBy/lastNarrow describe a (value, bounds) pair.
+func (s *elideState) applyBoundsMov(ctx *elideCtx, dst, src int) {
+	delete(s.checkedBy, dst)
+	delete(s.lastNarrow, dst)
+	s.killHolder(dst)
+	if ctx.sameValue(dst, src) {
+		if f, ok := s.checkedBy[src]; ok {
+			s.checkedBy[dst] = f
+		}
+		if f, ok := s.lastNarrow[src]; ok {
+			s.lastNarrow[dst] = f
+		}
 	}
 }
 
 // meetStates intersects two fact states — the join-point lattice
 // operation of the available-check dataflow. A fact survives only when
 // both paths guarantee it: bounds-checked sizes meet to the smaller
-// size, narrow extents and checked types must agree exactly. Neither
-// input is mutated (mir.ForwardProblem contract).
+// size, narrow extents and checked types must agree exactly, and a
+// lastType fact must agree on its HOLDER — two paths that checked the
+// same value into different bounds registers offer no single register
+// to copy bounds from, so the fact is dropped. Neither input is mutated
+// (mir.ForwardProblem contract).
 func meetStates(a, b *elideState) *elideState {
 	n := newElideState()
 	for r, fa := range a.checkedBy {
@@ -150,10 +244,10 @@ func meetStates(a, b *elideState) *elideState {
 			n.lastNarrow[r] = fa
 		}
 	}
-	for r, fa := range a.lastType {
-		if fb, ok := b.lastType[r]; ok && fb.t == fa.t {
+	for k, fa := range a.lastType {
+		if fb, ok := b.lastType[k]; ok && fb.t == fa.t && fb.holder == fa.holder {
 			fa.inherited = fa.inherited || fb.inherited
-			n.lastType[r] = fa
+			n.lastType[k] = fa
 		}
 	}
 	return n
@@ -178,8 +272,8 @@ func statesEqual(a, b *elideState) bool {
 			return false
 		}
 	}
-	for r, f := range a.lastType {
-		if g, ok := b.lastType[r]; !ok || g.t != f.t {
+	for k, f := range a.lastType {
+		if g, ok := b.lastType[k]; !ok || g.t != f.t || g.holder != f.holder {
 			return false
 		}
 	}
@@ -195,50 +289,67 @@ const (
 	elideSubsume
 	elideNarrow
 	elideRecheck
+	// elideVN removes a type check whose VALUE was already checked into
+	// a DIFFERENT register's bounds: the check is replaced by an
+	// OpBoundsMov from the holder, so the bounds still arrive.
+	elideVN
 )
 
 // step advances the state over one instruction and returns the elision
 // decision for it: the counter the removed check belongs to (elideNone
-// when it must be kept) and whether the justifying fact was inherited
-// from another block. The state is updated to reflect the decision —
-// an elided check leaves the facts untouched (it will not execute), a
-// kept one applies its effects. This single function is the transfer
-// semantics shared by all three pass implementations AND the dataflow
-// fixpoint, so the rewrite can never disagree with the solution.
-func (s *elideState) step(ins *mir.Instr, reuse bool) (elisionKind, bool) {
+// when it must be kept), whether the justifying fact was inherited from
+// another block, and — for elideVN — the holder register the rewritten
+// OpBoundsMov must copy bounds from (-1 otherwise). The state is
+// updated to reflect the decision: an elided check leaves the facts
+// untouched (it will not execute), an elideVN one applies the
+// replacement bounds-copy's effects, a kept one applies its own. This
+// single function is the transfer semantics shared by all pass
+// implementations, the dataflow fixpoint AND the PRE edge-replay, so a
+// rewrite can never disagree with the solution it came from.
+func (s *elideState) step(ctx *elideCtx, ins *mir.Instr) (elisionKind, bool, int) {
 	switch ins.Op {
 	case mir.OpBoundsCheck:
 		if ins.B == -1 {
 			if f, ok := s.checkedBy[ins.A]; ok && f.v >= ins.Aux {
-				return elideSubsume, f.inherited
+				return elideSubsume, f.inherited, -1
 			}
 			s.checkedBy[ins.A] = sizeFact{v: ins.Aux}
 		}
 	case mir.OpBoundsNarrow:
 		if f, ok := s.lastNarrow[ins.A]; ok && f.v == ins.Aux {
-			return elideNarrow, f.inherited
+			return elideNarrow, f.inherited, -1
 		}
 		s.lastNarrow[ins.A] = sizeFact{v: ins.Aux}
-		delete(s.checkedBy, ins.A) // narrower bounds: recheck
-		delete(s.lastType, ins.A)  // narrowed bounds differ from a fresh check's
+		delete(s.checkedBy, ins.A)       // narrower bounds: recheck
+		delete(s.lastType, int64(ins.A)) // narrowed bounds differ from a fresh check's
+		s.killHolder(ins.A)              // bounds[A] rewritten: facts living there die
 	case mir.OpTypeCheck:
-		if reuse {
-			if f, ok := s.lastType[ins.A]; ok && f.t == ins.Type {
-				return elideRecheck, f.inherited
+		if ctx.reuse {
+			if f, ok := s.lastType[ctx.key(ins.A)]; ok && f.t == ins.Type {
+				if f.holder == ins.A {
+					return elideRecheck, f.inherited, -1
+				}
+				// Same value, different register: the check would
+				// recompute bounds already sitting in the holder's
+				// bounds register — copy them instead.
+				s.applyBoundsMov(ctx, ins.A, f.holder)
+				return elideVN, f.inherited, f.holder
 			}
 		}
 		s.invalidate(ins.A)
-		if reuse {
-			s.lastType[ins.A] = typeFact{t: ins.Type}
+		if ctx.reuse {
+			s.lastType[ctx.key(ins.A)] = typeFact{t: ins.Type, holder: ins.A}
 		}
 	case mir.OpBoundsGet:
 		s.invalidate(ins.A)
+	case mir.OpBoundsMov:
+		s.applyBoundsMov(ctx, ins.A, ins.B)
 	case mir.OpMov:
-		s.propagate(ins.Dst, ins.A)
+		s.propagate(ctx, ins.Dst, ins.A)
 	case mir.OpCast:
 		if ins.Type.Kind == ctypes.KindPointer && ins.CastFrom != nil &&
 			ins.CastFrom.Kind == ctypes.KindPointer && ins.CastFrom.Elem == ins.Type.Elem {
-			s.propagate(ins.Dst, ins.A)
+			s.propagate(ctx, ins.Dst, ins.A)
 		} else {
 			s.invalidate(ins.Dst)
 		}
@@ -260,7 +371,7 @@ func (s *elideState) step(ins *mir.Instr, reuse bool) (elisionKind, bool) {
 			}
 		}
 	}
-	return elideNone, false
+	return elideNone, false, -1
 }
 
 // blockEffects summarises what a block can do to facts flowing past it:
@@ -279,7 +390,7 @@ func summarizeBlock(b *mir.Block) blockEffects {
 		switch ins.Op {
 		case mir.OpFree, mir.OpRealloc, mir.OpCall:
 			eff.barrier = true
-		case mir.OpTypeCheck, mir.OpBoundsGet, mir.OpBoundsNarrow:
+		case mir.OpTypeCheck, mir.OpBoundsGet, mir.OpBoundsNarrow, mir.OpBoundsMov:
 			// These rewrite the register's bounds (and, for narrow, the
 			// narrow state), so facts about it cannot cross this block.
 			eff.killed[ins.A] = true
@@ -306,18 +417,18 @@ func (s *elideState) apply(eff blockEffects) {
 }
 
 // elideBlock rewrites one block's instructions against the incoming
-// fact state, mutating state to the block's end-of-block facts.
-// reuseChecks gates the §5.3 type-check reuse specifically
-// (Options.NoCheckReuse). cross is the counter charged for elisions
-// justified by inherited facts — Stats.ElidedCrossBlock under the
-// dominator walk, Stats.ElidedPathSensitive under the dataflow pass,
-// nil for the block-local ablation (which can never inherit); the two
-// cross-block counters therefore partition removed checks and never
-// both count one.
-func elideBlock(instrs []mir.Instr, s *elideState, st *Stats, reuseChecks bool, cross *int) []mir.Instr {
+// fact state, mutating state to the block's end-of-block facts. cross
+// is the counter charged for elisions justified by inherited facts —
+// Stats.ElidedCrossBlock under the dominator walk,
+// Stats.ElidedPathSensitive under the dataflow pass, nil for the
+// block-local ablation (which can never inherit); the two cross-block
+// counters therefore partition removed checks and never both count one.
+// Value-numbered elisions are charged to ValueNumberedElisions ONLY —
+// they partition from both the per-kind and the cross-block counters.
+func elideBlock(instrs []mir.Instr, ctx *elideCtx, s *elideState, st *Stats, cross *int) []mir.Instr {
 	var out []mir.Instr
 	for i := range instrs {
-		kind, inherited := s.step(&instrs[i], reuseChecks)
+		kind, inherited, holder := s.step(ctx, &instrs[i])
 		if kind == elideNone {
 			out = append(out, instrs[i])
 			continue
@@ -329,6 +440,11 @@ func elideBlock(instrs []mir.Instr, s *elideState, st *Stats, reuseChecks bool, 
 			st.ElidedNarrows++
 		case elideRecheck:
 			st.ElidedRechecks++
+		case elideVN:
+			st.ValueNumberedElisions++
+			out = append(out, mir.Instr{Op: mir.OpBoundsMov, Dst: -1,
+				A: instrs[i].A, B: holder, C: -1, Site: instrs[i].Site})
+			continue // attribution is ValueNumberedElisions alone
 		}
 		if inherited && cross != nil {
 			*cross++
@@ -339,38 +455,31 @@ func elideBlock(instrs []mir.Instr, s *elideState, st *Stats, reuseChecks bool, 
 
 // elidePathSensitive is the default §5.3 pass: a per-fact
 // available-check dataflow over the CFG. The lattice element is the
-// (register-provenance, fact) set of elideState; the meet is set
-// intersection over predecessors (meetStates); the transfer function
-// replays step over the block. SolveForward iterates to the greatest
-// fixpoint in reverse postorder, then every block is rewritten against
-// its solved in-state: a check is elided exactly when the same fact is
-// available on every incoming path. This closes the dominator walk's
-// diamond-join gap — a fact established on both arms of a branch (but
-// not before it) survives the meet and elides the join's re-check,
-// which the paper's scheme removes but the dominator pass cannot see.
+// (provenance, fact) set of elideState; the meet is set intersection
+// over predecessors (meetStates); the transfer function replays step
+// over the block. SolveForward iterates to the greatest fixpoint in
+// reverse postorder, then every block is rewritten against its solved
+// in-state: a check is elided exactly when the same fact is available
+// on every incoming path. This closes the dominator walk's diamond-join
+// gap — a fact established on both arms of a branch (but not before it)
+// survives the meet and elides the join's re-check, which the paper's
+// scheme removes but the dominator pass cannot see.
+//
+// With check motion enabled the lastType facts are additionally keyed
+// by VALUE NUMBER, so a pointer recomputed into a fresh temporary
+// reuses the original's check through an OpBoundsMov rewrite.
 //
 // The transfer function models post-elision runtime behaviour: a check
 // that will be elided does not execute, so it neither kills nor
-// re-establishes facts. That is monotone (more facts in never yields
+// re-establishes facts (a VN-elided one applies its replacement
+// bounds-copy instead). That is monotone (more facts in never yields
 // fewer facts out), and because the rewrite phase replays the identical
 // step function against the fixpoint in-states, the removed checks are
 // exactly the ones the solution says will not execute.
 func elidePathSensitive(f *mir.Func, opts Options, st *Stats) {
-	reuse := !opts.NoCheckReuse
+	ctx := elideContext(f, opts)
 	cfg := mir.NewCFG(f)
-	in, solved := mir.SolveForward(cfg, mir.ForwardProblem[*elideState]{
-		Entry: newElideState,
-		Transfer: func(b int, s *elideState) *elideState {
-			n := s.clone()
-			instrs := f.Blocks[b].Instrs
-			for i := range instrs {
-				n.step(&instrs[i], reuse)
-			}
-			return n
-		},
-		Meet:  meetStates,
-		Equal: statesEqual,
-	})
+	in, solved := solveAvailability(cfg, f, ctx)
 	for bi, b := range f.Blocks {
 		var s *elideState
 		if solved[bi] {
@@ -382,8 +491,40 @@ func elidePathSensitive(f *mir.Func, opts Options, st *Stats) {
 			// Blocks unreachable from the entry get the block-local pass.
 			s = newElideState()
 		}
-		b.Instrs = elideBlock(b.Instrs, s, st, reuse, &st.ElidedPathSensitive)
+		b.Instrs = elideBlock(b.Instrs, ctx, s, st, &st.ElidedPathSensitive)
 	}
+}
+
+// elideContext builds the fact-engine configuration for one function:
+// type-check reuse per NoCheckReuse, and the value-number table exactly
+// when the check-motion suite is active (motion and value-keyed
+// provenance ship as one §5.3 feature set, ablated together by
+// NoCheckMotion).
+func elideContext(f *mir.Func, opts Options) *elideCtx {
+	ctx := &elideCtx{reuse: !opts.NoCheckReuse}
+	if motionEnabled(opts) {
+		ctx.vals = mir.NewValueTable(f)
+	}
+	return ctx
+}
+
+// solveAvailability runs the available-check dataflow and returns the
+// solved in-states — shared by the elision rewrite and the PRE
+// planner (motion.go).
+func solveAvailability(cfg *mir.CFG, f *mir.Func, ctx *elideCtx) ([]*elideState, []bool) {
+	return mir.SolveForward(cfg, mir.ForwardProblem[*elideState]{
+		Entry: newElideState,
+		Transfer: func(b int, s *elideState) *elideState {
+			n := s.clone()
+			instrs := f.Blocks[b].Instrs
+			for i := range instrs {
+				n.step(ctx, &instrs[i])
+			}
+			return n
+		},
+		Meet:  meetStates,
+		Equal: statesEqual,
+	})
 }
 
 // elideDomTree is the PR-2 dominator-tree pass, kept as the
@@ -405,7 +546,7 @@ func elidePathSensitive(f *mir.Func, opts Options, st *Stats) {
 // summaries are cached until the block is rewritten, so each block is
 // summarised O(1) times instead of once per dominator-tree edge.
 func elideDomTree(f *mir.Func, opts Options, st *Stats) {
-	reuse := !opts.NoCheckReuse
+	ctx := &elideCtx{reuse: !opts.NoCheckReuse}
 	cfg := mir.NewCFG(f)
 	n := len(f.Blocks)
 	visited := make([]bool, n)
@@ -443,7 +584,7 @@ func elideDomTree(f *mir.Func, opts Options, st *Stats) {
 			}
 		}
 		visited[fr.b] = true
-		f.Blocks[fr.b].Instrs = elideBlock(f.Blocks[fr.b].Instrs, in, st, reuse, &st.ElidedCrossBlock)
+		f.Blocks[fr.b].Instrs = elideBlock(f.Blocks[fr.b].Instrs, ctx, in, st, &st.ElidedCrossBlock)
 		haveSummary[fr.b] = false // rewritten: stale summary
 		children := cfg.DomChildren(fr.b)
 		// Push in reverse so the pop order matches the recursive DFS:
@@ -455,7 +596,7 @@ func elideDomTree(f *mir.Func, opts Options, st *Stats) {
 	// Blocks unreachable from the entry still get the block-local pass.
 	for i, b := range f.Blocks {
 		if !visited[i] {
-			b.Instrs = elideBlock(b.Instrs, newElideState(), st, reuse, nil)
+			b.Instrs = elideBlock(b.Instrs, ctx, newElideState(), st, nil)
 		}
 	}
 }
@@ -468,8 +609,9 @@ func elideDomTree(f *mir.Func, opts Options, st *Stats) {
 func elideChecks(f *mir.Func, opts Options, st *Stats) {
 	switch {
 	case opts.NoCrossBlockElision:
+		ctx := &elideCtx{reuse: !opts.NoCheckReuse}
 		for _, b := range f.Blocks {
-			b.Instrs = elideBlock(b.Instrs, newElideState(), st, !opts.NoCheckReuse, nil)
+			b.Instrs = elideBlock(b.Instrs, ctx, newElideState(), st, nil)
 		}
 	case opts.DomTreeElision:
 		elideDomTree(f, opts, st)

@@ -94,6 +94,13 @@ type Options struct {
 	// before every single dereference — the strawman the schema's check
 	// minimisation is measured against (ablation only).
 	Naive bool
+	// NoCheckMotion disables the §5.3 check-MOTION suite while keeping
+	// check removal on: no value-numbered provenance in the elision
+	// lattice, no loop-invariant check hoisting, no partial-redundancy
+	// insertion — the "no-motion" Fig. 8 ablation. Motion requires the
+	// path-sensitive dataflow, so it is implicitly off under
+	// NoCrossBlockElision, DomTreeElision and NoOptimize.
+	NoCheckMotion bool
 }
 
 // Stats reports what the pass did.
@@ -118,6 +125,15 @@ type Stats struct {
 	// instrumentation, so no check is ever counted in both.
 	ElidedCrossBlock    int
 	ElidedPathSensitive int
+	// The check-MOTION counters (all zero under NoCheckMotion). They
+	// partition from the elision counters above: a check removed via
+	// value-numbered provenance (rewritten to a bounds-register copy
+	// from the register that already holds the result) is charged to
+	// ValueNumberedElisions ONLY — not to ElidedRechecks and not to
+	// ElidedPathSensitive — so the ablation deltas are attributable.
+	HoistedChecks         int // checks moved to a loop preheader
+	PREInsertions         int // checks copied onto an edge to unify a join
+	ValueNumberedElisions int // type checks elided across registers via VN
 	// CheckSites is the number of static OpTypeCheck sites that survived
 	// elision; each gets a stable 1-based site ID for the runtime's
 	// per-site inline caches.
@@ -171,6 +187,10 @@ func instrumentFunc(p *mir.Program, f *mir.Func, opts Options, st *Stats) {
 		}
 	}
 	if !opts.NoOptimize {
+		if motionEnabled(opts) {
+			hoistChecks(f, st)
+			preInsertChecks(f, opts, st)
+		}
 		elideChecks(f, opts, st)
 	}
 }

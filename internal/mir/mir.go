@@ -91,6 +91,13 @@ const (
 	OpBoundsNarrow // bounds[A] = narrow(bounds[A], A..A+Aux) (Fig. 3(e))
 	OpBoundsCheck  // bounds_check(A, size Aux, bounds[A])  (Fig. 3(g))
 	OpEscapeCheck  // escape check of pointer A against bounds[A]
+	// OpBoundsMov copies a bounds register: bounds[A] = bounds[B]. The
+	// elision pass inserts it when value numbering proves a type check
+	// of A recomputes the check of another register B holding the same
+	// value — the check is removed, but A's bounds register must still
+	// receive the earlier check's result for downstream narrows and
+	// bounds checks. It never consults the runtime.
+	OpBoundsMov
 )
 
 // BinKind selects an OpBin operation (Instr.Aux).

@@ -1,0 +1,199 @@
+package mir
+
+import "fmt"
+
+// Value numbering for provenance: two registers get the same value
+// number exactly when the analysis can prove they always hold the same
+// value, so the §5.3 available-check lattice (package instrument) can
+// key type-check facts on VALUES instead of registers — `(T*)buf`
+// recomputed into a fresh temporary in another block unifies with the
+// first computation and reuses its check.
+//
+// Only registers with exactly ONE static definition are numbered
+// ("stable" registers): MIR is not SSA, and a register written in two
+// places (loop counters built with MovTo/BinTo) has no single defining
+// expression. A stable register's value never changes once defined, so
+// a value-keyed fact about it can never be invalidated by redefinition —
+// the property the elision lattice relies on.
+//
+// Only PURE ops are numbered: constants, moves (transparent — the copy
+// has the source's number), arithmetic (with commutative operand
+// sorting for add/mul/and/or/xor and eq/ne comparisons, and the
+// and(v,v)=or(v,v)=v idempotence collapse), casts, field/index address
+// arithmetic, global addresses and parameters. Loads, calls and
+// allocations depend on memory or allocator state and are never
+// numbered: two loads of the same address may yield different values.
+type ValueTable struct {
+	vn []int // register -> value number, -1 when unnumbered
+}
+
+// VN returns the value number of reg, or -1 when the register is
+// unstable (multi-def) or defined by an impure op.
+func (t *ValueTable) VN(reg int) int {
+	if reg < 0 || reg >= len(t.vn) {
+		return -1
+	}
+	return t.vn[reg]
+}
+
+// SameValue reports whether two registers provably hold the same value.
+func (t *ValueTable) SameValue(a, b int) bool {
+	va := t.VN(a)
+	return va >= 0 && va == t.VN(b)
+}
+
+// NewValueTable numbers the stable registers of f.
+func NewValueTable(f *Func) *ValueTable {
+	t := &ValueTable{vn: make([]int, f.NumRegs)}
+	b := &vnBuilder{f: f, t: t,
+		def:   make([]*Instr, f.NumRegs),
+		state: make([]uint8, f.NumRegs),
+		names: map[string]int{},
+	}
+	for i := range t.vn {
+		t.vn[i] = -1
+	}
+	// Count static defs; a register keeps its defining instruction only
+	// when there is exactly one. Parameters have an implicit entry def,
+	// so any textual write makes them multi-def.
+	multi := make([]bool, f.NumRegs)
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			_, defs := blk.Instrs[i].Regs()
+			for _, d := range defs {
+				if d < 0 {
+					continue
+				}
+				if b.def[d] != nil || d < len(f.Params) {
+					multi[d] = true
+				}
+				b.def[d] = &blk.Instrs[i]
+			}
+		}
+	}
+	for d, m := range multi {
+		if m {
+			b.def[d] = nil
+			b.state[d] = vnDone // -1 stays
+		}
+	}
+	for r := 0; r < f.NumRegs; r++ {
+		b.number(r)
+	}
+	return t
+}
+
+const (
+	vnFresh uint8 = iota
+	vnBusy
+	vnDone
+)
+
+type vnBuilder struct {
+	f     *Func
+	t     *ValueTable
+	def   []*Instr // single static def, nil when multi-def or undefined
+	state []uint8
+	names map[string]int // interned expression key -> value number
+}
+
+// intern maps an expression key to its value number, allocating one for
+// a key seen the first time.
+func (b *vnBuilder) intern(key string) int {
+	if n, ok := b.names[key]; ok {
+		return n
+	}
+	n := len(b.names)
+	b.names[key] = n
+	return n
+}
+
+// number computes (and memoizes) the value number of register r.
+// A dependency cycle (possible in non-SSA code where a single def reads
+// a register defined later on a loop path) marks the register unstable.
+func (b *vnBuilder) number(r int) int {
+	if r < 0 || r >= len(b.state) {
+		return -1
+	}
+	switch b.state[r] {
+	case vnDone:
+		return b.t.vn[r]
+	case vnBusy:
+		return -1 // cycle: refuse the whole chain
+	}
+	b.state[r] = vnBusy
+	b.t.vn[r] = b.numberExpr(r)
+	b.state[r] = vnDone
+	return b.t.vn[r]
+}
+
+func (b *vnBuilder) numberExpr(r int) int {
+	if r < len(b.f.Params) {
+		return b.intern(fmt.Sprintf("param:%d", r))
+	}
+	ins := b.def[r]
+	if ins == nil {
+		return -1
+	}
+	switch ins.Op {
+	case OpConst:
+		return b.intern(fmt.Sprintf("const:%d:%p", ins.Imm, ins.Type))
+	case OpGlobal:
+		return b.intern(fmt.Sprintf("global:%d", ins.Aux))
+	case OpMov:
+		// Transparent: the copy IS the source value.
+		return b.number(ins.A)
+	case OpNot:
+		a := b.number(ins.A)
+		if a < 0 {
+			return -1
+		}
+		return b.intern(fmt.Sprintf("not:%d", a))
+	case OpCast:
+		a := b.number(ins.A)
+		if a < 0 {
+			return -1
+		}
+		return b.intern(fmt.Sprintf("cast:%p:%p:%d", ins.Type, ins.CastFrom, a))
+	case OpBin:
+		x, y := b.number(ins.A), b.number(ins.B)
+		if x < 0 || y < 0 {
+			return -1
+		}
+		k := BinKind(ins.Aux)
+		switch k {
+		case BinAdd, BinMul, BinAnd, BinOr, BinXor:
+			if y < x {
+				x, y = y, x
+			}
+		}
+		if x == y && (k == BinAnd || k == BinOr) {
+			return x // idempotence: v&v == v|v == v
+		}
+		return b.intern(fmt.Sprintf("bin:%d:%p:%d:%d", k, ins.Type, x, y))
+	case OpCmp:
+		x, y := b.number(ins.A), b.number(ins.B)
+		if x < 0 || y < 0 {
+			return -1
+		}
+		k := CmpKind(ins.Aux)
+		if (k == CmpEq || k == CmpNe) && y < x {
+			x, y = y, x
+		}
+		return b.intern(fmt.Sprintf("cmp:%d:%p:%d:%d", k, ins.Type, x, y))
+	case OpField:
+		a := b.number(ins.A)
+		if a < 0 {
+			return -1
+		}
+		return b.intern(fmt.Sprintf("field:%d:%d", a, ins.Aux))
+	case OpIndex:
+		x, y := b.number(ins.A), b.number(ins.B)
+		if x < 0 || y < 0 {
+			return -1
+		}
+		return b.intern(fmt.Sprintf("index:%d:%d:%d", x, y, ins.Type.Size()))
+	}
+	// Loads, calls, allocations, reallocs: memory- or state-dependent.
+	return -1
+}

@@ -1,0 +1,195 @@
+package mir
+
+import (
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+// vnFunc starts a two-parameter function for value-numbering tests and
+// returns the builder plus the parameter registers.
+func vnFunc() (*FuncBuilder, int, int) {
+	p := NewProgram(ctypes.NewTable())
+	b := NewFunc(p, "f", ctypes.Long,
+		Param{Name: "a", Type: ctypes.Long}, Param{Name: "b", Type: ctypes.Long})
+	return b, b.Param(0), b.Param(1)
+}
+
+// TestValueNumberCommutativity is the operator table: the commutative
+// binary kinds (and eq/ne comparisons) unify across operand order, the
+// ordered ones must not.
+func TestValueNumberCommutativity(t *testing.T) {
+	commutative := []BinKind{BinAdd, BinMul, BinAnd, BinOr, BinXor}
+	ordered := []BinKind{BinSub, BinShl, BinShr}
+
+	b, ra, rb := vnFunc()
+	type pair struct{ x, y int }
+	comm := make([]pair, len(commutative))
+	for i, k := range commutative {
+		comm[i] = pair{
+			b.Bin(k, ctypes.Long, ra, rb),
+			b.Bin(k, ctypes.Long, rb, ra),
+		}
+	}
+	ord := make([]pair, len(ordered))
+	for i, k := range ordered {
+		ord[i] = pair{
+			b.Bin(k, ctypes.Long, ra, rb),
+			b.Bin(k, ctypes.Long, rb, ra),
+		}
+	}
+	ceq := pair{b.Cmp(CmpEq, ctypes.Long, ra, rb), b.Cmp(CmpEq, ctypes.Long, rb, ra)}
+	clt := pair{b.Cmp(CmpLt, ctypes.Long, ra, rb), b.Cmp(CmpLt, ctypes.Long, rb, ra)}
+	b.Ret(ra)
+
+	vt := NewValueTable(b.F)
+	for i, k := range commutative {
+		if !vt.SameValue(comm[i].x, comm[i].y) {
+			t.Errorf("kind %d: a %v b and b %v a got distinct numbers (commutative)", k, k, k)
+		}
+	}
+	for i, k := range ordered {
+		if vt.SameValue(ord[i].x, ord[i].y) {
+			t.Errorf("kind %d: a and b unified across operand order (NOT commutative)", k)
+		}
+	}
+	// Distinct commutative kinds over the same operands stay distinct.
+	if vt.SameValue(comm[0].x, comm[1].x) {
+		t.Error("a+b and a*b unified")
+	}
+	if !vt.SameValue(ceq.x, ceq.y) {
+		t.Error("a==b and b==a got distinct numbers")
+	}
+	if vt.SameValue(clt.x, clt.y) {
+		t.Error("a<b and b<a unified (ordered comparison)")
+	}
+}
+
+// TestValueNumberIdempotence: v&v and v|v collapse to v itself; v^v and
+// v+v are new values.
+func TestValueNumberIdempotence(t *testing.T) {
+	b, ra, _ := vnFunc()
+	and := b.Bin(BinAnd, ctypes.Long, ra, ra)
+	or := b.Bin(BinOr, ctypes.Long, ra, ra)
+	xor := b.Bin(BinXor, ctypes.Long, ra, ra)
+	add := b.Bin(BinAdd, ctypes.Long, ra, ra)
+	b.Ret(ra)
+
+	vt := NewValueTable(b.F)
+	if !vt.SameValue(and, ra) || !vt.SameValue(or, ra) {
+		t.Error("a&a / a|a did not collapse to a")
+	}
+	if vt.SameValue(xor, ra) || vt.SameValue(add, ra) {
+		t.Error("a^a / a+a collapsed to a (they are different values)")
+	}
+}
+
+// TestValueNumberTransparency: moves are the value they copy; constants
+// unify by (value, type); derived addresses unify by (base, offset).
+func TestValueNumberTransparency(t *testing.T) {
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	longPtr := tb.PointerTo(ctypes.Long)
+	b := NewFunc(p, "f", ctypes.Long, Param{Name: "p", Type: longPtr})
+	pp := b.Param(0)
+
+	m1 := b.Mov(pp)
+	m2 := b.Mov(m1)
+	c7a := b.Const(ctypes.Long, 7)
+	c7b := b.Const(ctypes.Long, 7)
+	c8 := b.Const(ctypes.Long, 8)
+	c7i := b.Const(ctypes.Int, 7)
+	f1 := b.FieldAt(ctypes.Long, pp, 8)
+	f2 := b.FieldAt(ctypes.Long, m2, 8) // same base value through the moves
+	f3 := b.FieldAt(ctypes.Long, pp, 16)
+	i1 := b.Index(ctypes.Long, pp, c7a)
+	i2 := b.Index(ctypes.Long, m1, c7b)
+	b.Ret(c7a)
+
+	vt := NewValueTable(b.F)
+	if !vt.SameValue(m1, pp) || !vt.SameValue(m2, pp) {
+		t.Error("mov chains must be transparent")
+	}
+	if !vt.SameValue(c7a, c7b) {
+		t.Error("equal constants of one type got distinct numbers")
+	}
+	if vt.SameValue(c7a, c8) || vt.SameValue(c7a, c7i) {
+		t.Error("distinct constants (by value or type) unified")
+	}
+	if !vt.SameValue(f1, f2) {
+		t.Error("same field of the same base value got distinct numbers")
+	}
+	if vt.SameValue(f1, f3) {
+		t.Error("different offsets unified")
+	}
+	if !vt.SameValue(i1, i2) {
+		t.Error("same index of the same base value got distinct numbers")
+	}
+}
+
+// TestValueNumberStability: only single-static-def registers are
+// numbered — multi-def registers, written parameters, memory reads and
+// allocations all refuse, and the refusal propagates into expressions
+// built on them.
+func TestValueNumberStability(t *testing.T) {
+	tb := ctypes.NewTable()
+	p := NewProgram(tb)
+	longPtr := tb.PointerTo(ctypes.Long)
+	b := NewFunc(p, "f", ctypes.Long,
+		Param{Name: "p", Type: longPtr}, Param{Name: "w", Type: ctypes.Long})
+	pp, w := b.Param(0), b.Param(1)
+
+	i := b.Reg()
+	zero := b.Const(ctypes.Long, 0)
+	b.MovTo(i, zero)
+	b.MovTo(i, w) // second def: i is unstable
+	onI := b.Bin(BinAdd, ctypes.Long, i, zero)
+	b.MovTo(w, zero) // any textual write makes a parameter multi-def
+	ld := b.Load(ctypes.Long, pp)
+	al := b.MallocN(ctypes.Long, 4)
+	b.Ret(zero)
+
+	vt := NewValueTable(b.F)
+	for name, r := range map[string]int{
+		"multi-def":     i,
+		"expr on multi": onI,
+		"written param": w,
+		"load":          ld,
+		"allocation":    al,
+		"out of range":  b.F.NumRegs + 5,
+		"negative":      -1,
+	} {
+		if vt.VN(r) != -1 {
+			t.Errorf("%s register numbered %d, want -1", name, vt.VN(r))
+		}
+	}
+	if vt.VN(pp) < 0 {
+		t.Error("unwritten parameter must be numbered")
+	}
+	if vt.SameValue(i, i) {
+		t.Error("SameValue must refuse unstable registers, even reflexively")
+	}
+}
+
+// TestValueNumberCycleGuard: a mutual-copy cycle (possible in non-SSA
+// code on loop paths) must refuse the whole chain rather than recurse
+// forever or invent a number.
+func TestValueNumberCycleGuard(t *testing.T) {
+	b, ra, _ := vnFunc()
+	r1, r2 := b.Reg(), b.Reg()
+	b.MovTo(r1, r2) // each register has exactly one static def...
+	b.MovTo(r2, r1) // ...but the defs form a cycle
+	onCycle := b.Bin(BinAdd, ctypes.Long, r1, ra)
+	b.Ret(ra)
+
+	vt := NewValueTable(b.F)
+	if vt.VN(r1) != -1 || vt.VN(r2) != -1 {
+		t.Errorf("cyclic defs numbered %d, %d, want -1, -1", vt.VN(r1), vt.VN(r2))
+	}
+	if vt.VN(onCycle) != -1 {
+		t.Error("expression over a cyclic chain must stay unnumbered")
+	}
+	if vt.VN(ra) < 0 {
+		t.Error("the cycle must not poison unrelated registers")
+	}
+}

@@ -48,6 +48,20 @@ type Options struct {
 	// the Fig. 10 alloc-heavy scaling row comparing per-worker magazine
 	// allocation against the serialized central heap.
 	AllocHeavy bool
+	// LoopHeavy emits loop-dominated helpers whose headers re-evaluate a
+	// loop-invariant field (c->lim, c->step) every iteration — the
+	// bounds check and its field-address chain are invariant and sit in
+	// a block dominating every exit and latch, so the §5.3 hoisting pass
+	// moves them to the preheader. Backs the Fig. 8 loop-heavy row
+	// (check motion on/off ablation).
+	LoopHeavy bool
+	// TempHeavy emits helpers that recompute the same pointer cast into
+	// fresh temporaries — before a branch, on each arm, and at the join —
+	// so register-keyed elision sees distinct registers but
+	// value-numbered provenance proves one value and replaces the
+	// re-checks with bounds-register copies. Backs the Fig. 8 temp-heavy
+	// row (check motion on/off ablation).
+	TempHeavy bool
 }
 
 func (o *Options) fill() {
@@ -101,6 +115,12 @@ func Generate(seed int64, opts Options) string {
 	}
 	if opts.AllocHeavy {
 		g.emitAllocHeavy()
+	}
+	if opts.LoopHeavy {
+		g.emitLoopHeavy()
+	}
+	if opts.TempHeavy {
+		g.emitTempHeavy()
 	}
 	g.emitMain(opts)
 	return g.sb.String()
@@ -334,6 +354,83 @@ func (g *gen) emitAllocHeavy() {
 `)
 }
 
+// emitLoopHeavy emits the loop-dominated helpers: loop_walk's while
+// condition re-reads c->lim (field address chain + bounds check, all
+// loop-invariant, in the header block that dominates the loop's only
+// exit and its latch — the exact shape the hoisting pass moves to the
+// preheader), and loop_nest stacks two such loops so the inner header's
+// check lands in the inner preheader inside the outer body. Body
+// accesses (data[0], c->step) deliberately stay: their blocks do not
+// dominate the header exit, so a speculation-free hoister must leave
+// them, pinning the pass's refusal side as well as its wins.
+func (g *gen) emitLoopHeavy() {
+	g.pf(`struct GenCtl { long lim; long step; };
+
+long loop_walk(struct GenCtl *c, long *data) {
+    long acc = 0;
+    long i = 0;
+    while (i < c->lim) {
+        data[0] = data[0] + c->step;
+        acc += data[0] + i;
+        i = i + 1;
+    }
+    return acc;
+}
+
+long loop_nest(struct GenCtl *c, long *data) {
+    long acc = 0;
+    long i = 0;
+    while (i < c->lim) {
+        long j = 0;
+        while (j < c->step) {
+            data[1] = data[1] + 1;
+            acc += data[1];
+            j = j + 1;
+        }
+        acc += c->lim;
+        i = i + 1;
+    }
+    return acc;
+}
+
+`)
+}
+
+// emitTempHeavy emits the recomputed-temporary helper: the same
+// long* -> struct GenTmp* downcast (a legal one — the allocation really
+// is a GenTmp array, so every check passes) is performed into four
+// distinct temporaries: before the loop, on each branch arm, and at the
+// join. Register-keyed elision cannot unify them; value numbering
+// proves all four casts compute one value, so the three in-loop checks
+// collapse to bounds-register copies from the first check's register.
+func (g *gen) emitTempHeavy() {
+	g.pf(`struct GenTmp { long a; long b; long c; };
+
+long temp_walk(long *p, int n) {
+    long acc = 0;
+    struct GenTmp *t0 = (struct GenTmp *)p;
+    t0->a = t0->a + 1;
+    int i = 0;
+    while (i < n) {
+        if ((i & 1) > 0) {
+            struct GenTmp *t1 = (struct GenTmp *)p;
+            t1->b = t1->b + (long)i;
+            acc += t1->b;
+        } else {
+            struct GenTmp *t2 = (struct GenTmp *)p;
+            t2->c = t2->c + 1;
+            acc += t2->c;
+        }
+        struct GenTmp *t3 = (struct GenTmp *)p;
+        acc += t3->a;
+        i = i + 1;
+    }
+    return acc;
+}
+
+`)
+}
+
 // emitMain drives everything: typed heap arrays, sweeps, a list, and a
 // deterministic checksum return value.
 func (g *gen) emitMain(opts Options) {
@@ -396,6 +493,23 @@ func (g *gen) emitMain(opts Options) {
 		g.pf("        gen_drop(ch);\n")
 		g.pf("    }\n")
 	}
+	if opts.LoopHeavy {
+		g.pf("    struct GenCtl *ctl = malloc(1 * sizeof(struct GenCtl));\n")
+		g.pf("    long *ld = malloc(4 * sizeof(long));\n")
+		g.pf("    ctl->lim = %d;\n", 6+g.r.Intn(6))
+		g.pf("    ctl->step = %d;\n", 3+g.r.Intn(4))
+		g.pf("    ld[0] = 1;\n    ld[1] = 2;\n")
+		g.pf("    for (int r = 0; r < %d; r++) {\n", opts.Rounds)
+		g.pf("        acc += loop_walk(ctl, ld);\n")
+		g.pf("        acc += loop_nest(ctl, ld);\n")
+		g.pf("    }\n")
+	}
+	if opts.TempHeavy {
+		g.pf("    struct GenTmp *tmp = malloc(2 * sizeof(struct GenTmp));\n")
+		g.pf("    tmp->a = 1;\n    tmp->b = 2;\n    tmp->c = 3;\n")
+		g.pf("    for (int r = 0; r < %d; r++) { acc += temp_walk((long *)tmp, %d); }\n",
+			opts.Rounds, 5+g.r.Intn(8))
+	}
 	listLen := 4 + g.r.Intn(12)
 	g.pf("    struct GenNode *head = null;\n")
 	g.pf("    for (int i = 0; i < %d; i++) { head = gen_push(head, (long)(i * %d)); }\n",
@@ -411,6 +525,13 @@ func (g *gen) emitMain(opts Options) {
 	if opts.Diamonds > 0 {
 		g.pf("    free(dp);\n")
 		g.pf("    free(dq);\n")
+	}
+	if opts.LoopHeavy {
+		g.pf("    free(ctl);\n")
+		g.pf("    free(ld);\n")
+	}
+	if opts.TempHeavy {
+		g.pf("    free(tmp);\n")
 	}
 	g.pf("    return (int)(acc & 0xffff);\n}\n")
 }

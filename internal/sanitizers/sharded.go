@@ -117,6 +117,7 @@ func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, o
 			Variant: t.Variant, NoOptimize: t.NoOptimize,
 			NoCrossBlockElision: t.NoCrossBlockElision,
 			DomTreeElision:      t.DomTreeElision,
+			NoCheckMotion:       t.NoCheckMotion,
 		})
 		rt = core.NewRuntime(core.Options{
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,

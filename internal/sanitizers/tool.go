@@ -46,6 +46,11 @@ type Tool struct {
 	// Fig. 8 ablation; loses the diamond-join wins) —
 	// instrument.Options.DomTreeElision.
 	DomTreeElision bool
+	// NoCheckMotion disables the §5.3 check-motion suite — loop-invariant
+	// check hoisting, partial-redundancy insertion and value-numbered
+	// provenance in the elision lattice — leaving check removal on (the
+	// "no-motion" Fig. 8 ablation) — instrument.Options.NoCheckMotion.
+	NoCheckMotion bool
 	// NoMagazines makes sharded workers allocate directly from the
 	// shared central heap instead of through per-worker magazines (the
 	// serialized-allocator ablation for the alloc-heavy Fig. 10 row).
@@ -109,6 +114,15 @@ func (t *Tool) PerBlockElision() *Tool {
 func (t *Tool) WithDomTreeElision() *Tool {
 	cp := *t
 	cp.DomTreeElision = true
+	return &cp
+}
+
+// WithoutCheckMotion returns a copy of the tool with the check-motion
+// suite (hoisting, PRE, value-numbered provenance) disabled — the
+// ablation that prices what moving checks buys over removing them.
+func (t *Tool) WithoutCheckMotion() *Tool {
+	cp := *t
+	cp.NoCheckMotion = true
 	return &cp
 }
 
@@ -214,6 +228,7 @@ func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint
 			Variant: t.Variant, NoOptimize: t.NoOptimize,
 			NoCrossBlockElision: t.NoCrossBlockElision,
 			DomTreeElision:      t.DomTreeElision,
+			NoCheckMotion:       t.NoCheckMotion,
 		})
 		res.InstrStats = ist
 		rt := core.NewRuntime(core.Options{

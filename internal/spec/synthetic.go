@@ -18,13 +18,25 @@ import "repro/internal/progen"
 //   - progen-interior: hot checks arrive through interior pointers
 //     (array fields inside heap structs), resolving at sub-object
 //     offsets that miss the exact-match fast path and land on the
-//     per-site inline caches.
+//     per-site inline caches;
+//   - progen-loop: loop headers re-evaluating invariant fields every
+//     iteration — the shape the §5.3 hoisting pass moves to the
+//     preheader (the "no-motion" Fig. 8 bar keeps them in place);
+//   - progen-temp: one pointer value recomputed into fresh temporaries
+//     before a branch, on its arms and at the join — register-keyed
+//     elision re-checks each temporary, value-numbered provenance
+//     collapses them (again separated by the "no-motion" bar).
 func Synthetic() []*Benchmark {
 	return []*Benchmark{
 		{
 			Name: "progen-diamond",
+			// Diamonds and Rounds are sized so the diamond joins, not the
+			// shared sweep/list scaffolding, dominate the check count —
+			// the per-block vs dom-tree vs path-sensitive gaps must be
+			// visible in InstrStats and the dynamic check counters, not
+			// inferred from wall-clock noise.
 			Source: progen.Generate(41, progen.Options{
-				Types: 2, Funcs: 1, Rounds: 24, Diamonds: 6,
+				Types: 2, Funcs: 1, Rounds: 48, Diamonds: 12,
 			}),
 			Entry: "main",
 		},
@@ -32,6 +44,20 @@ func Synthetic() []*Benchmark {
 			Name: "progen-interior",
 			Source: progen.Generate(43, progen.Options{
 				Types: 3, Funcs: 1, Rounds: 24, Interior: true,
+			}),
+			Entry: "main",
+		},
+		{
+			Name: "progen-loop",
+			Source: progen.Generate(53, progen.Options{
+				Types: 1, Funcs: 1, Rounds: 48, LoopHeavy: true,
+			}),
+			Entry: "main",
+		},
+		{
+			Name: "progen-temp",
+			Source: progen.Generate(59, progen.Options{
+				Types: 1, Funcs: 1, Rounds: 48, TempHeavy: true,
 			}),
 			Entry: "main",
 		},
