@@ -11,6 +11,16 @@
 //	effbench -experiment tools   §6.2 overhead comparison of baseline tools
 //	effbench -experiment all     everything above
 //
+// One extra experiment sits outside "all" (it is a correctness harness,
+// not a paper figure):
+//
+//	effbench -experiment difftest   the differential-fuzz oracle loop —
+//	                                progen libc programs swept through the
+//	                                whole elision/motion/cache/sharding
+//	                                matrix, asserting byte-identical values
+//	                                and report buckets; -seed picks the
+//	                                base progen seed
+//
 // The fig10 scalability curve is governed by -threads (top of the thread
 // curve) and -jobs (jobs per workload per point); see docs/BENCHMARKS.md
 // for every flag, knob combination and the JSON schemas emitted by
@@ -22,9 +32,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
+	"repro/internal/difftest"
 	"repro/internal/harness"
+	"repro/internal/progen"
 )
 
 // fig8JSON is the machine-readable form of the Fig. 8 series, committed
@@ -63,7 +76,10 @@ type fig10JSON struct {
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig7, fig8, fig9, fig10, tools, all")
+		"which experiment to run: fig1, fig7, fig8, fig9, fig10, tools, all, "+
+			"or difftest (the differential oracle loop; not part of all)")
+	seed := flag.Int64("seed", 1,
+		"base progen seed for the difftest experiment's generated programs")
 	repeat := flag.Int("repeat", 3, "timing repetitions (best-of) for fig8")
 	threads := flag.Int("threads", 16,
 		"top of the fig10 scalability thread curve (measures 1,2,4,... up to N)")
@@ -76,6 +92,18 @@ func main() {
 	json10Path := flag.String("json-fig10", "",
 		"also write the fig10 series as JSON to this path (requires fig10 to run)")
 	flag.Parse()
+
+	// The differential oracle loop is deliberately NOT part of
+	// -experiment all: it is a pass/fail correctness harness over the
+	// whole configuration matrix, not a figure, and "all" must keep
+	// regenerating exactly the paper's evaluation artifacts.
+	if *experiment == "difftest" {
+		if err := runDifftest(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "effbench: difftest: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -127,8 +155,9 @@ func main() {
 		caveat := ""
 		if runtime.GOMAXPROCS(0) == 1 {
 			caveat = "scaling rows measured with GOMAXPROCS=1: all workers " +
-				"share one core, so a flat speedup curve is expected and " +
-				"says nothing about the runtime's scalability"
+				"share one core, so flat speedup curves are expected — in " +
+				"the SPEC scaling rows and the alloc-heavy magazine rows " +
+				"alike — and say nothing about the runtime's scalability"
 			fmt.Fprintf(os.Stderr, "effbench: warning: %s\n", caveat)
 		}
 		workloads := harness.Fig10ScalingWorkloads()
@@ -157,6 +186,53 @@ func main() {
 		_, err := harness.ToolComparison(os.Stdout, nil)
 		return err
 	})
+}
+
+// runDifftest is the -experiment difftest entry: it sweeps progen libc
+// programs (option byte exhausted twice over, seeds ascending from the
+// -seed base) through the full differential matrix and fails on the
+// first run if any configuration disagrees with the single-threaded
+// precise oracle. Disagreements are shrunk and written as replayable
+// fuzz-corpus files under internal/difftest/testdata/failures.
+func runDifftest(seed int64) error {
+	const programs = 512
+	cfgs := difftest.Matrix()
+	fmt.Printf("Differential oracle: %d progen libc programs x %d configurations (base seed %d)\n",
+		programs, len(cfgs), seed)
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr, "effbench: note: GOMAXPROCS=1 serializes the sharded "+
+			"cells onto one core; agreement checking is unaffected, only slower")
+	}
+	mismatches := 0
+	for i := 0; i < programs; i++ {
+		in := difftest.EncodeInput(seed+int64(i), progen.Options{})
+		in[8] = byte(i)
+		s, opts, _ := difftest.DecodeInput(in)
+		prog, err := difftest.Build(s, opts)
+		if err != nil {
+			return err
+		}
+		mm, err := difftest.Check(prog)
+		if err != nil {
+			return err
+		}
+		if mm != nil {
+			mismatches++
+			min := difftest.Shrink(s, opts)
+			path, werr := difftest.WriteReproducer(
+				filepath.Join("internal", "difftest", "testdata", "failures"), s, min)
+			if werr != nil {
+				path = fmt.Sprintf("(reproducer write failed: %v)", werr)
+			}
+			fmt.Printf("MISMATCH seed %d opts %+v:\n%s\nshrunk reproducer: %s\n", s, opts, mm, path)
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d/%d programs disagreed with the oracle", mismatches, programs)
+	}
+	fmt.Printf("all %d programs agree byte-for-byte across all %d configurations\n",
+		programs, len(cfgs))
+	return nil
 }
 
 // writeJSON marshals v indented and writes it with a trailing newline.

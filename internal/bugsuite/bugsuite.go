@@ -12,6 +12,7 @@ package bugsuite
 
 import (
 	"repro/internal/cc"
+	"repro/internal/core"
 	"repro/internal/ctypes"
 	"repro/internal/mir"
 )
@@ -57,6 +58,11 @@ type Case struct {
 	// Desc says what the bug is and which §6.1 finding it models.
 	Desc string
 	Src  string
+	// Expect, when non-nil, pins the exact set of distinct report kinds
+	// the full EffectiveSan configuration must produce for this case —
+	// no more, no fewer. Cases without Expect are covered by the Fig. 1
+	// capability matrix or the clean-suite controls instead.
+	Expect []core.ErrorKind
 }
 
 // Program compiles the case into a fresh program/type table.
@@ -328,6 +334,108 @@ int main() {
     free(p);
     return 0;
 }`,
+		},
+		{
+			Name:  "libc-memcpy-overlap",
+			Class: Extra,
+			Desc: "memcpy over self-overlapping ranges (the glibc-2.13 memcpy " +
+				"direction-change bugs' trigger shape): undefined behaviour the " +
+				"intrinsics layer reports while still completing the copy",
+			Src: `
+int main() {
+    long *a = malloc(8 * 8);
+    for (int i = 0; i < 8; i++) { a[i] = (long)i; }
+    memcpy(a, a + 2, 6 * 8);
+    long r = a[0];
+    free(a);
+    return (int)r;
+}`,
+			Expect: []core.ErrorKind{core.OverlapError},
+		},
+		{
+			Name:  "libc-strcpy-field-overflow",
+			Class: Extra,
+			Desc: "strcpy overflowing a fixed-size array field into its sibling " +
+				"within the same struct (the classic sprintf/strcpy header-field " +
+				"smash): stays inside the allocation, so only sub-object bounds " +
+				"passed through the intrinsic catch it",
+			Src: `
+struct LibPacket { int head[4]; long tail; };
+
+int main() {
+    struct LibPacket *p = new struct LibPacket;
+    char *s = malloc(24);
+    for (int i = 0; i < 20; i++) { s[i] = (char)(65 + (i & 7)); }
+    s[20] = (char)0;
+    p->tail = 7;
+    strcpy(p->head, s);     // 21 bytes into the 16-byte head field
+    long r = p->tail;
+    free(s);
+    free(p);
+    return (int)r;
+}`,
+			Expect: []core.ErrorKind{core.BoundsError},
+		},
+		{
+			Name:  "libc-free-interior",
+			Class: Extra,
+			Desc: "free of an interior pointer (CVE-2015-0235-era allocator abuse " +
+				"shape): the low-fat header lookup rejects the free and leaves the " +
+				"object live, so execution continues deterministically",
+			Src: `
+int main() {
+    long *p = malloc(4 * 8);
+    p[0] = 5;
+    free(p + 1);            // rejected: not the allocation base
+    long r = p[0];          // object still live
+    free(p);
+    return (int)r;
+}`,
+			Expect: []core.ErrorKind{core.BadFree},
+		},
+		{
+			Name:  "libc-strlen-unterminated",
+			Class: Extra,
+			Desc: "strlen over a buffer with no NUL terminator (the Heartbleed-style " +
+				"overread shape): the scan is clamped to the zeroed low-fat slot, " +
+				"terminates deterministically, and the overread past the allocation " +
+				"bound is reported",
+			Src: `
+int main() {
+    char *b = malloc(12);
+    memset(b, 66, 12);
+    int r = (int)strlen(b);
+    free(b);
+    return r;
+}`,
+			Expect: []core.ErrorKind{core.BoundsError},
+		},
+		{
+			Name:  "libc-qsort-cmp-oob",
+			Class: Extra,
+			Desc: "qsort comparator reading one element past its argument: the " +
+				"comparator re-enters the instrumented interpreter, so its own " +
+				"checks fire when the last element's neighbour is off the end " +
+				"(odd element count keeps the overread in the slot's zeroed " +
+				"padding: detected, yet deterministic and race-free)",
+			Src: `
+int lib_oob_cmp(long *x, long *y) {
+    return (int)(x[1] - y[1]);  // off the end for the last element
+}
+
+int main() {
+    long *v = malloc(5 * 8);
+    v[0] = 3;
+    v[1] = 1;
+    v[2] = 2;
+    v[3] = 0;
+    v[4] = 4;
+    qsort(v, 5, 8, lib_oob_cmp);
+    long r = v[0];
+    free(v);
+    return (int)r;
+}`,
+			Expect: []core.ErrorKind{core.BoundsError},
 		},
 		{
 			Name:  "clean-list",

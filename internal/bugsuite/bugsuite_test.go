@@ -1,7 +1,12 @@
 package bugsuite
 
 import (
+	"io"
+	"sort"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sanitizers"
 )
 
 func TestCasesCompile(t *testing.T) {
@@ -59,6 +64,61 @@ func TestByName(t *testing.T) {
 	if ByName("use-after-free") == nil {
 		t.Fatal("ByName exposed internal state")
 	}
+}
+
+// TestExpectPinned runs every case that pins an expected report-kind set
+// (the CVE-shaped libc cases) under the full tool and requires the
+// distinct kinds to match exactly — no misses, no extra noise.
+func TestExpectPinned(t *testing.T) {
+	kindNames := func(ks []core.ErrorKind) []string {
+		var out []string
+		for _, k := range ks {
+			out = append(out, k.String())
+		}
+		sort.Strings(out)
+		return out
+	}
+	pinned := 0
+	for _, c := range Cases() {
+		if c.Expect == nil {
+			continue
+		}
+		pinned++
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			prog, err := c.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sanitizers.ToolEffectiveSan.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []core.ErrorKind
+			for k := range res.Reporter.IssuesByKind() {
+				got = append(got, k)
+			}
+			want := kindNames(c.Expect)
+			if g := kindNames(got); !equalStrings(g, want) {
+				t.Errorf("report kinds %v, want %v\n%s", g, want, res.Reporter.Log())
+			}
+		})
+	}
+	if pinned < 5 {
+		t.Errorf("pinned cases = %d, want >= 5 (the libc corpus)", pinned)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestClassStrings(t *testing.T) {

@@ -2,6 +2,7 @@ package cc
 
 import (
 	"repro/internal/ctypes"
+	"repro/internal/intrinsics"
 	"repro/internal/mir"
 )
 
@@ -430,20 +431,11 @@ func (lo *lowerer) lowerCall(e *callExpr) value {
 		v := lo.lowerExpr(e.args[0], nil)
 		lo.b.Free(v.reg)
 		return value{ctypes.Int, lo.b.Const(ctypes.Int, 0)}
-	case "memcpy":
-		lo.wantArgs(e, 3)
-		dst := lo.lowerExpr(e.args[0], nil)
-		src := lo.lowerExpr(e.args[1], nil)
-		n := lo.lowerExpr(e.args[2], nil)
-		lo.b.Memcpy(dst.reg, src.reg, n.reg)
-		return dst
-	case "memset":
-		lo.wantArgs(e, 3)
-		p := lo.lowerExpr(e.args[0], nil)
-		v := lo.lowerExpr(e.args[1], nil)
-		n := lo.lowerExpr(e.args[2], nil)
-		lo.b.Memset(p.reg, v.reg, n.reg)
-		return p
+	case "memcpy", "memset":
+		// Lowered as introspection-checked libc intrinsics (package
+		// intrinsics), not the raw OpMemcpy/OpMemset builtins — same
+		// operation, but checked calls introspect their argument bounds.
+		return lo.lowerIntrinsic(e, intrinsics.Lookup(e.name))
 	case "print":
 		lo.wantArgs(e, 1)
 		v := lo.lowerExpr(e.args[0], nil)
@@ -461,6 +453,11 @@ func (lo *lowerer) lowerCall(e *callExpr) value {
 
 	fn, ok := lo.fns[e.name]
 	if !ok {
+		// Program functions shadow intrinsics; an unshadowed libc name
+		// lowers to an intrinsic call.
+		if d := intrinsics.Lookup(e.name); d != nil {
+			return lo.lowerIntrinsic(e, d)
+		}
 		lo.fail(e.tok, "call to undefined function %q", e.name)
 	}
 	if len(e.args) != len(fn.params) {
@@ -477,6 +474,45 @@ func (lo *lowerer) lowerCall(e *callExpr) value {
 		return value{ctypes.Int, lo.b.Const(ctypes.Int, 0)}
 	}
 	return value{fn.ret, lo.b.Call(e.name, args...)}
+}
+
+// lowerIntrinsic lowers a call to a libc intrinsic (package intrinsics)
+// not shadowed by a program function. C's "returns dst" contract for
+// the copy family is resolved here by reusing the first argument's
+// value, keeping the MIR-level calls void; strlen genuinely returns a
+// value; qsort's comparator must be the name of a defined two-argument
+// function and travels to the interpreter in the call's Str field.
+func (lo *lowerer) lowerIntrinsic(e *callExpr, d *intrinsics.Desc) value {
+	if d.NeedsCmp {
+		lo.wantArgs(e, d.NumArgs+1)
+		id, ok := e.args[d.NumArgs].(*identExpr)
+		if !ok {
+			lo.fail(e.tok, "%s comparator must be a function name", e.name)
+		}
+		cmp, ok := lo.fns[id.name]
+		if !ok || len(cmp.params) != 2 || cmp.ret == nil {
+			lo.fail(e.tok, "%s comparator %q must be a defined two-argument function returning a value",
+				e.name, id.name)
+		}
+		args := make([]int, d.NumArgs)
+		for i := 0; i < d.NumArgs; i++ {
+			args[i] = lo.lowerExpr(e.args[i], nil).reg
+		}
+		lo.b.IntrinsicCmp(e.name, id.name, args...)
+		return value{ctypes.Int, lo.b.Const(ctypes.Int, 0)}
+	}
+	lo.wantArgs(e, d.NumArgs)
+	vals := make([]value, d.NumArgs)
+	args := make([]int, d.NumArgs)
+	for i := range e.args {
+		vals[i] = lo.lowerExpr(e.args[i], nil)
+		args[i] = vals[i].reg
+	}
+	if d.Ret != nil {
+		return value{d.Ret, lo.b.Call(e.name, args...)}
+	}
+	lo.b.CallV(e.name, args...)
+	return vals[0]
 }
 
 func (lo *lowerer) wantArgs(e *callExpr, n int) {

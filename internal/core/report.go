@@ -17,6 +17,10 @@ const (
 	UseAfterFree
 	DoubleFree
 	BadFree
+	// OverlapError is an undefined-behaviour overlap between the source
+	// and destination ranges of a library call whose contract forbids it
+	// (memcpy; memmove is exempt). Detected by the intrinsics layer.
+	OverlapError
 )
 
 func (k ErrorKind) String() string {
@@ -31,6 +35,8 @@ func (k ErrorKind) String() string {
 		return "double-free"
 	case BadFree:
 		return "bad-free"
+	case OverlapError:
+		return "overlap-error"
 	}
 	return fmt.Sprintf("error-kind-%d", int(k))
 }
@@ -77,7 +83,15 @@ func (is *Issue) Message() string {
 	case DoubleFree:
 		fmt.Fprintf(&sb, "object of type (%s) freed twice", is.DynamicType)
 	case BadFree:
-		fmt.Fprintf(&sb, "free of invalid pointer (%s)", is.DynamicType)
+		if is.StaticType != "" {
+			fmt.Fprintf(&sb, "free of %s at offset %d into object of dynamic type (%s)",
+				is.StaticType, is.Offset, is.DynamicType)
+		} else {
+			fmt.Fprintf(&sb, "free of invalid pointer (%s)", is.DynamicType)
+		}
+	case OverlapError:
+		fmt.Fprintf(&sb, "%s called with overlapping ranges %d bytes apart on object of dynamic type (%s)",
+			is.StaticType, is.Offset, is.DynamicType)
 	}
 	if is.FirstSite != "" {
 		fmt.Fprintf(&sb, " [first at %s]", is.FirstSite)

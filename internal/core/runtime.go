@@ -279,7 +279,15 @@ func (r *Runtime) TypeFree(p uint64, site string) {
 		return
 	}
 	if p != base+MetaSize {
-		r.Reporter.Report(BadFree, "", fmt.Sprintf("%#x (interior pointer)", p), 0, site)
+		// Bucket by the containing allocation's dynamic type and the
+		// pointer's offset into the object — address-independent, so the
+		// same bug buckets identically across sharded/magazine
+		// configurations (the differential oracle's report contract).
+		t := "?"
+		if dt := r.typeByID(r.mem.Load(base, 8)); dt != nil {
+			t = dt.String()
+		}
+		r.Reporter.Report(BadFree, "interior pointer", t, int64(p-(base+MetaSize)), site)
 		return
 	}
 	tid := r.mem.Load(base, 8)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/ctypes"
+	"repro/internal/intrinsics"
 	"repro/internal/mir"
 )
 
@@ -625,7 +626,15 @@ func elideChecks(f *mir.Func, opts Options, st *Stats) {
 // function name, block, instruction order — after elision, so the IDs
 // are dense over the checks that will actually execute. The runtime's
 // per-site inline caches are indexed by these IDs.
-func assignSiteIDs(p *mir.Program, st *Stats) {
+//
+// Checked libc intrinsic calls (Full/BoundsOnly, unless NoIntrinsics)
+// draw from the same counter: each reserves one consecutive ID per
+// pointer argument, with the base stored in the OpCall's Aux — so each
+// argument's type-check-through-the-cascade gets its own per-site
+// inline-cache slot, exactly like a standalone OpTypeCheck would.
+// Aux stays 0 on unchecked calls, which the interpreter runs bare.
+func assignSiteIDs(p *mir.Program, opts Options, st *Stats) {
+	checkIntrinsics := (opts.Variant == Full || opts.Variant == BoundsOnly) && !opts.NoIntrinsics
 	names := make([]string, 0, len(p.Funcs))
 	for name := range p.Funcs {
 		names = append(names, name)
@@ -635,12 +644,27 @@ func assignSiteIDs(p *mir.Program, st *Stats) {
 	for _, name := range names {
 		for _, b := range p.Funcs[name].Blocks {
 			for i := range b.Instrs {
-				if b.Instrs[i].Op == mir.OpTypeCheck {
+				ins := &b.Instrs[i]
+				switch ins.Op {
+				case mir.OpTypeCheck:
 					id++
-					b.Instrs[i].Aux = id
+					ins.Aux = id
+					st.CheckSites++
+				case mir.OpCall:
+					if !checkIntrinsics || p.Funcs[ins.Callee] != nil {
+						continue
+					}
+					d := intrinsics.Lookup(ins.Callee)
+					if d == nil {
+						continue
+					}
+					if n := d.NumSites(); n > 0 {
+						ins.Aux = id + 1
+						id += n
+						st.IntrinsicSites += int(n)
+					}
 				}
 			}
 		}
 	}
-	st.CheckSites = int(id)
 }

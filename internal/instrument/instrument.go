@@ -30,6 +30,7 @@ package instrument
 
 import (
 	"repro/internal/ctypes"
+	"repro/internal/intrinsics"
 	"repro/internal/mir"
 )
 
@@ -101,6 +102,12 @@ type Options struct {
 	// path-sensitive dataflow, so it is implicitly off under
 	// NoCrossBlockElision, DomTreeElision and NoOptimize.
 	NoCheckMotion bool
+	// NoIntrinsics leaves libc intrinsic calls unchecked: no check-site
+	// IDs are reserved for them, so the interpreter runs the bare
+	// operation without bounds/overlap/NUL-scan introspection — the
+	// library-boundary ablation. Detection through intrinsic calls then
+	// degrades to whatever the surrounding raw-access checks see.
+	NoIntrinsics bool
 }
 
 // Stats reports what the pass did.
@@ -138,6 +145,11 @@ type Stats struct {
 	// elision; each gets a stable 1-based site ID for the runtime's
 	// per-site inline caches.
 	CheckSites int
+	// IntrinsicSites is the number of check-site IDs reserved for libc
+	// intrinsic calls (one per pointer argument per checked call, drawn
+	// from the same counter as CheckSites so every site keeps its own
+	// inline-cache slot). Zero under NoIntrinsics.
+	IntrinsicSites int
 }
 
 // Instrument returns an instrumented deep copy of p; the input program is
@@ -152,7 +164,7 @@ func Instrument(p *mir.Program, opts Options) (*mir.Program, Stats) {
 	for _, f := range out.Funcs {
 		instrumentFunc(out, f, opts, &st)
 	}
-	assignSiteIDs(out, &st)
+	assignSiteIDs(out, opts, &st)
 	return out, st
 }
 
@@ -247,6 +259,12 @@ func emitPre(p *mir.Program, f *mir.Func, ins *mir.Instr, opts Options, st *Stat
 		boundsCheck(ins.A, ins.C, 0, ctypes.Char)
 	case mir.OpCall:
 		callee := p.Funcs[ins.Callee]
+		if callee == nil {
+			// Intrinsic call: the intrinsic introspects its own pointer
+			// arguments against their bounds registers (escape checks
+			// would be redundant with its per-argument range checks).
+			return
+		}
 		for i, arg := range ins.Args {
 			if callee.Params[i].Type != nil && callee.Params[i].Type.Kind == ctypes.KindPointer {
 				escapeCheck(arg)
@@ -402,6 +420,17 @@ func usedPointers(p *mir.Program, f *mir.Func, opts Options) map[int]bool {
 			case mir.OpCall:
 				callee := p.Funcs[ins.Callee]
 				if callee == nil {
+					// Intrinsic call: its pointer arguments are used (the
+					// intrinsic dereferences them), so their provenance —
+					// including sub-object narrowing — must be established
+					// for the intrinsic's bounds registers to be meaningful.
+					if d := intrinsics.Lookup(ins.Callee); d != nil {
+						for i, arg := range ins.Args {
+							if i < len(d.PtrArgs) && d.PtrArgs[i] {
+								mark(arg)
+							}
+						}
+					}
 					continue
 				}
 				for i, arg := range ins.Args {

@@ -226,6 +226,15 @@ func (b *FuncBuilder) CallV(callee string, args ...int) {
 		Args: append([]int(nil), args...)})
 }
 
+// IntrinsicCmp emits a void call to a comparator-carrying intrinsic
+// (qsort): the comparator function name travels in Instr.Str and the
+// interpreter re-enters it per comparison. The comparator must be a
+// defined 2-parameter value-returning function (validated).
+func (b *FuncBuilder) IntrinsicCmp(callee, cmp string, args ...int) {
+	b.emit(Instr{Op: OpCall, Dst: -1, A: -1, B: -1, C: -1, Callee: callee,
+		Args: append([]int(nil), args...), Str: cmp})
+}
+
 // Ret emits return a.
 func (b *FuncBuilder) Ret(a int) {
 	b.emit(Instr{Op: OpRet, Dst: -1, A: a, B: -1, C: -1})

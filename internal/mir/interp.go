@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctypes"
+	"repro/internal/intrinsics"
 	"repro/internal/mem"
 )
 
@@ -273,12 +274,16 @@ func (in *Interp) exec(rs *runState, f *Func, args []uint64) uint64 {
 				in.mem.Set(regs[ins.A], byte(regs[ins.B]), n)
 
 			case OpCall:
-				callee := in.prog.Funcs[ins.Callee]
-				cargs := make([]uint64, len(ins.Args))
-				for i, a := range ins.Args {
-					cargs[i] = regs[a]
+				var v uint64
+				if callee := in.prog.Funcs[ins.Callee]; callee != nil {
+					cargs := make([]uint64, len(ins.Args))
+					for i, a := range ins.Args {
+						cargs[i] = regs[a]
+					}
+					v = in.exec(rs, callee, cargs)
+				} else {
+					v = in.execIntrinsic(rs, ins, regs, bregs)
 				}
-				v := in.exec(rs, callee, cargs)
 				if ins.Dst != -1 {
 					regs[ins.Dst] = v
 					bregs[ins.Dst] = core.Wide
@@ -329,6 +334,49 @@ func (in *Interp) exec(rs *runState, f *Func, args []uint64) uint64 {
 			}
 		}
 	}
+}
+
+// execIntrinsic runs an OpCall whose callee is a libc intrinsic rather
+// than a program function (the validator guarantees it is one or the
+// other; program functions shadow intrinsics). Aux > 0 marks a checked
+// call — the instrument pass reserved check-site IDs for it, and an
+// EffectiveSan runtime must be attached, mirroring the effRT contract
+// of the other instrumentation ops. Aux == 0 runs the bare operation
+// (uninstrumented baselines, TypeOnly, and the NoIntrinsics ablation);
+// either way the operation half computes identically — checks only
+// observe and report.
+func (in *Interp) execIntrinsic(rs *runState, ins *Instr, regs []uint64, bregs []core.Bounds) uint64 {
+	d := intrinsics.Lookup(ins.Callee)
+	args := make([]uint64, len(ins.Args))
+	bounds := make([]core.Bounds, len(ins.Args))
+	for i, a := range ins.Args {
+		args[i] = regs[a]
+		bounds[i] = bregs[a]
+	}
+	ctx := &intrinsics.Ctx{
+		Mem:    in.mem,
+		Args:   args,
+		Bounds: bounds,
+		Site:   ins.Site,
+		Free:   func(p uint64) { in.env.Free(p, ins.Site) },
+		Spend:  rs.spend,
+	}
+	if ins.Aux > 0 {
+		ctx.RT = in.effRT(ins)
+		ctx.SiteID = ins.Aux
+	}
+	if in.hooks != nil {
+		ctx.Access = func(p, n uint64, write bool) {
+			in.hooks.Access(p, n, write, ctypes.Char, ins.Site)
+		}
+	}
+	if d.NeedsCmp {
+		cmp := in.prog.Funcs[ins.Str]
+		ctx.Cmp = func(a, b uint64) int64 {
+			return int64(in.exec(rs, cmp, []uint64{a, b}))
+		}
+	}
+	return d.Run(ctx)
 }
 
 func (in *Interp) effRT(ins *Instr) *core.Runtime {

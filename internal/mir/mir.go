@@ -67,7 +67,13 @@ const (
 	OpMemset // memset(A, byte B, C)
 
 	// Control flow.
-	OpCall // Dst = Callee(Args...)
+	//
+	// OpCall's Callee is either a program function or the name of a libc
+	// intrinsic (package intrinsics); program functions shadow intrinsics.
+	// On intrinsic calls Aux carries the base check-site ID the instrument
+	// pass reserved — one consecutive ID per pointer argument, 0 meaning
+	// unchecked — and Str carries qsort's comparator function name.
+	OpCall // Dst = Callee(Args...); intrinsics: Aux = site-ID base, Str = comparator
 	OpRet  // return A (A == -1 for void)
 	OpJmp  // goto To
 	OpBr   // if A != 0 goto To else Else
@@ -157,7 +163,7 @@ type Instr struct {
 	To, Else int          // block indices for OpJmp/OpBr
 	Callee   string       // OpCall target
 	Args     []int        // OpCall argument registers
-	Str      string       // OpPuts literal
+	Str      string       // OpPuts literal; OpCall comparator name (qsort)
 	Site     string       // diagnostic location, filled by Finalize
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ctypes"
+	"repro/internal/intrinsics"
 )
 
 // Validate checks the structural well-formedness of the program: register
@@ -78,16 +79,36 @@ func (p *Program) validateFunc(f *Func) error {
 					return fail(bi, ii, "branch targets %d/%d out of range", in.To, in.Else)
 				}
 			case OpCall:
-				callee, ok := p.Funcs[in.Callee]
-				if !ok {
+				if callee, ok := p.Funcs[in.Callee]; ok {
+					// Program functions shadow intrinsics of the same name.
+					if len(in.Args) != len(callee.Params) {
+						return fail(bi, ii, "call to %q with %d args, want %d",
+							in.Callee, len(in.Args), len(callee.Params))
+					}
+					if in.Dst != -1 && callee.Ret == nil {
+						return fail(bi, ii, "call captures result of void function %q", in.Callee)
+					}
+				} else if d := intrinsics.Lookup(in.Callee); d != nil {
+					if len(in.Args) != d.NumArgs {
+						return fail(bi, ii, "call to intrinsic %q with %d args, want %d",
+							in.Callee, len(in.Args), d.NumArgs)
+					}
+					if in.Dst != -1 && d.Ret == nil {
+						return fail(bi, ii, "call captures result of void intrinsic %q", in.Callee)
+					}
+					if d.NeedsCmp {
+						cmp, ok := p.Funcs[in.Str]
+						if !ok {
+							return fail(bi, ii, "intrinsic %q comparator %q is not a defined function",
+								in.Callee, in.Str)
+						}
+						if len(cmp.Params) != 2 || cmp.Ret == nil {
+							return fail(bi, ii, "intrinsic %q comparator %q must take 2 arguments and return a value",
+								in.Callee, in.Str)
+						}
+					}
+				} else {
 					return fail(bi, ii, "call to unknown function %q", in.Callee)
-				}
-				if len(in.Args) != len(callee.Params) {
-					return fail(bi, ii, "call to %q with %d args, want %d",
-						in.Callee, len(in.Args), len(callee.Params))
-				}
-				if in.Dst != -1 && callee.Ret == nil {
-					return fail(bi, ii, "call captures result of void function %q", in.Callee)
 				}
 			case OpGlobal:
 				if in.Aux < 0 || int(in.Aux) >= len(p.Globals) {

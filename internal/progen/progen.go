@@ -62,6 +62,28 @@ type Options struct {
 	// re-checks with bounds-register copies. Backs the Fig. 8 temp-heavy
 	// row (check motion on/off ablation).
 	TempHeavy bool
+	// LibCalls emits library-call-heavy helpers driving the libc
+	// intrinsics — memset/memcpy, overlapping memmove in both walk
+	// directions, strcpy/strncpy/strlen over properly terminated
+	// buffers, and qsort with a well-behaved comparator — strictly
+	// within bounds. Clean by construction like every other progen
+	// workload; the workload under the differential-fuzz oracle
+	// (internal/difftest).
+	LibCalls bool
+	// LibFaults additionally emits CONTAINED library-call faults:
+	// overlapping memcpy, strcpy overflowing an array field into its
+	// sibling within one struct, free of an interior pointer, strlen
+	// over an unterminated buffer, and a qsort comparator reading one
+	// element past its argument. Every fault stays inside its own
+	// allocation's low-fat slot and every operation computes the same
+	// result in every configuration (allocation slots are zeroed, scans
+	// are slot-clamped, a rejected free leaves the object live), so the
+	// programs remain differentially deterministic: configurations must
+	// agree on the VALUE and on the REPORT BUCKETS. This deliberately
+	// breaks progen's "a correct sanitizer reports nothing" contract —
+	// LibFaults programs feed the difftest oracle loop only and are
+	// excluded from the soundness suites and spec workloads.
+	LibFaults bool
 }
 
 func (o *Options) fill() {
@@ -121,6 +143,12 @@ func Generate(seed int64, opts Options) string {
 	}
 	if opts.TempHeavy {
 		g.emitTempHeavy()
+	}
+	if opts.LibCalls {
+		g.emitLibCalls()
+	}
+	if opts.LibFaults {
+		g.emitLibFaults()
 	}
 	g.emitMain(opts)
 	return g.sb.String()
@@ -431,6 +459,114 @@ long temp_walk(long *p, int n) {
 `)
 }
 
+// emitLibCalls emits the clean library-call helpers: lib_mem exercises
+// memset/memcpy and overlapping memmove in both walk directions,
+// lib_str round-trips strcpy/strncpy/strlen over a properly terminated
+// buffer (including the exact-fit case: the NUL lands on the last byte
+// of the destination), and lib_sort drives qsort through a well-behaved
+// comparator that re-enters the interpreter per comparison. All
+// accesses stay strictly inside their allocations.
+func (g *gen) emitLibCalls() {
+	g.pf(`long lib_mem(long *a, long *b, int n) {
+    memset(a, 0, n * 8);
+    for (int i = 0; i < n; i++) { a[i] = (long)(i + %d); }
+    memcpy(b, a, n * 8);
+    memmove(a + 1, a, (n - 1) * 8);
+    memmove(b, b + 1, (n - 1) * 8);
+    long acc = 0;
+    for (int i = 0; i < n; i++) { acc += a[i] + b[i]; }
+    return acc;
+}
+
+long lib_str(char *s, char *d, int n) {
+    for (int i = 0; i < n; i++) { s[i] = (char)(65 + (i & 15)); }
+    s[n] = (char)0;
+    strcpy(d, s);
+    long acc = (long)strlen(d);
+    strncpy(d, s, n);
+    acc += (long)strlen(s) + (long)d[0];
+    return acc;
+}
+
+int lib_cmp(long *x, long *y) {
+    if (*x < *y) { return 0 - 1; }
+    if (*x > *y) { return 1; }
+    return 0;
+}
+
+long lib_sort(long *v, int n) {
+    for (int i = 0; i < n; i++) { v[i] = (long)(((n - i) * %d) & %d); }
+    qsort(v, n, 8, lib_cmp);
+    long acc = 0;
+    for (int i = 0; i < n; i++) { acc += v[i] * (long)(i + 1); }
+    return acc;
+}
+
+`, 1+g.r.Intn(9), 3+g.r.Intn(11), 15+8*g.r.Intn(4))
+}
+
+// emitLibFaults emits the contained library-fault helpers (see
+// Options.LibFaults for the determinism contract each relies on):
+//
+//   - fault_overlap: memcpy over overlapping ranges (the operation is
+//     overlap-safe, so only the report differs from memmove);
+//   - fault_field: strcpy whose source outruns the destination array
+//     field, spilling into the sibling field of the same struct — the
+//     sub-object overflow the paper's layout narrowing catches;
+//   - fault_interior: free of a pointer into the middle of an
+//     allocation (rejected, so the object stays live for the real free);
+//   - fault_strlen: strlen over a buffer filled end to end with
+//     non-NUL bytes — the slot-clamped scan terminates in the zeroed
+//     slot padding and the overread is reported;
+//   - fault_sort: a qsort comparator reading one element past each
+//     argument, out of bounds when handed the last element.
+func (g *gen) emitLibFaults() {
+	g.pf(`struct GenPair { int head[4]; long tail; };
+
+long fault_overlap(long *a, int n) {
+    memcpy(a, a + 1, (n - 1) * 8);
+    return a[0] + a[n - 2];
+}
+
+long fault_field(struct GenPair *p, char *s, int n) {
+    for (int i = 0; i < n; i++) { s[i] = (char)(66 + (i & 7)); }
+    s[n] = (char)0;
+    strcpy(p->head, s);
+    return p->tail + (long)s[0];
+}
+
+long fault_interior(int n) {
+    long *p = malloc(n * 8);
+    p[0] = (long)n;
+    free(p + 1);
+    long acc = p[0];
+    free(p);
+    return acc;
+}
+
+long fault_strlen(int n) {
+    char *b = malloc(n);
+    memset(b, 67, n);
+    long acc = (long)strlen(b);
+    free(b);
+    return acc;
+}
+
+int fault_cmp(long *x, long *y) {
+    return (int)(x[1] - y[1]);
+}
+
+long fault_sort(long *v, int n) {
+    for (int i = 0; i < n; i++) { v[i] = (long)((n - i) & 7); }
+    qsort(v, n, 8, fault_cmp);
+    long acc = 0;
+    for (int i = 0; i < n; i++) { acc += v[i]; }
+    return acc;
+}
+
+`)
+}
+
 // emitMain drives everything: typed heap arrays, sweeps, a list, and a
 // deterministic checksum return value.
 func (g *gen) emitMain(opts Options) {
@@ -510,6 +646,45 @@ func (g *gen) emitMain(opts Options) {
 		g.pf("    for (int r = 0; r < %d; r++) { acc += temp_walk((long *)tmp, %d); }\n",
 			opts.Rounds, 5+g.r.Intn(8))
 	}
+	if opts.LibCalls {
+		ln := 4 + g.r.Intn(13)
+		sn := 6 + g.r.Intn(18)
+		g.pf("    long *la = malloc(%d * 8);\n", ln)
+		g.pf("    long *lb = malloc(%d * 8);\n", ln)
+		g.pf("    char *lsrc = malloc(%d);\n", sn+1)
+		g.pf("    char *ldst = malloc(%d);\n", sn+1)
+		g.pf("    long *lv = malloc(%d * 8);\n", ln)
+		g.pf("    for (int r = 0; r < %d; r++) {\n", opts.Rounds)
+		g.pf("        acc += lib_mem(la, lb, %d);\n", ln)
+		g.pf("        acc += lib_str(lsrc, ldst, %d);\n", sn)
+		g.pf("        acc += lib_sort(lv, %d);\n", ln)
+		g.pf("    }\n")
+	}
+	if opts.LibFaults {
+		// Sizes are chosen so every fault stays inside its allocation:
+		// the strcpy source (fn chars + NUL) outruns GenPair.head's 16
+		// bytes but fits the 24-byte struct.
+		fan := 3 + g.r.Intn(6)
+		fn := 16 + g.r.Intn(7)
+		// fvn is kept odd: low-fat classes are 16-byte granular, so an
+		// odd long count (8*fvn+16 ≡ 8 mod 16) leaves 8 bytes of zeroed
+		// in-slot padding and fault_cmp's x[1] overread on the last
+		// element stays INSIDE the slot — out of the allocation's bounds
+		// (detected) but deterministic and race-free. An even count
+		// would fit its class exactly and the overread would touch the
+		// neighbouring slot: racy under sharding, nondeterministic
+		// everywhere.
+		fvn := 3 + 2*g.r.Intn(3)
+		g.pf("    long *fa = malloc(%d * 8);\n", fan)
+		g.pf("    struct GenPair *fp = malloc(1 * sizeof(struct GenPair));\n")
+		g.pf("    char *fs = malloc(%d);\n", fn+1)
+		g.pf("    long *fv = malloc(%d * 8);\n", fvn)
+		g.pf("    acc += fault_overlap(fa, %d);\n", fan)
+		g.pf("    acc += fault_field(fp, fs, %d);\n", fn)
+		g.pf("    acc += fault_interior(%d);\n", 2+g.r.Intn(6))
+		g.pf("    acc += fault_strlen(%d);\n", 8+g.r.Intn(33))
+		g.pf("    acc += fault_sort(fv, %d);\n", fvn)
+	}
 	listLen := 4 + g.r.Intn(12)
 	g.pf("    struct GenNode *head = null;\n")
 	g.pf("    for (int i = 0; i < %d; i++) { head = gen_push(head, (long)(i * %d)); }\n",
@@ -532,6 +707,12 @@ func (g *gen) emitMain(opts Options) {
 	}
 	if opts.TempHeavy {
 		g.pf("    free(tmp);\n")
+	}
+	if opts.LibCalls {
+		g.pf("    free(la);\n    free(lb);\n    free(lsrc);\n    free(ldst);\n    free(lv);\n")
+	}
+	if opts.LibFaults {
+		g.pf("    free(fa);\n    free(fp);\n    free(fs);\n    free(fv);\n")
 	}
 	g.pf("    return (int)(acc & 0xffff);\n}\n")
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cc"
+	"repro/internal/core"
 	"repro/internal/ctypes"
 	"repro/internal/sanitizers"
 )
@@ -205,6 +206,129 @@ func TestAllocHeavySoundness(t *testing.T) {
 				t.Errorf("seed %d sharded under %s: result %d, want %d", seed, tool.Name, res.Value, want)
 			}
 		}
+	}
+}
+
+// TestLibCallsSoundness extends the differential net to the
+// library-call shape: LibCalls programs drive every intrinsic strictly
+// in bounds, so they must stay clean (no reports) and
+// semantics-preserving under every variant and baseline — intrinsic
+// introspection must never change what a clean program computes.
+func TestLibCallsSoundness(t *testing.T) {
+	tools := []*sanitizers.Tool{
+		sanitizers.ToolUninstrumented,
+		sanitizers.ToolEffectiveSan,
+		sanitizers.ToolEffectiveSan.WithoutIntrinsics().Named("EffectiveSan-nointrinsics"),
+		sanitizers.ToolEffBounds,
+		sanitizers.ToolEffType,
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		src := Generate(seed, Options{Types: 1, Rounds: 2, LibCalls: true})
+		var want uint64
+		for i, tool := range tools {
+			prog, err := cc.Compile(src, ctypes.NewTable())
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			res, err := tool.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatalf("seed %d under %s: %v", seed, tool.Name, err)
+			}
+			if res.Reporter.Total() > 0 {
+				t.Errorf("seed %d under %s: FALSE POSITIVE\n%s",
+					seed, tool.Name, res.Reporter.Log())
+			}
+			if i == 0 {
+				want = res.Value
+			} else if res.Value != want {
+				t.Errorf("seed %d under %s: result %d, want %d (semantics changed)",
+					seed, tool.Name, res.Value, want)
+			}
+		}
+	}
+	// The clean shape stays silent under the baseline models too.
+	for seed := int64(0); seed < 4; seed++ {
+		src := Generate(seed, Options{Types: 1, Rounds: 1, LibCalls: true})
+		for _, tool := range sanitizers.Baselines() {
+			prog, err := cc.Compile(src, ctypes.NewTable())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := tool.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatalf("seed %d under %s: %v", seed, tool.Name, err)
+			}
+			if res.Reporter.Total() > 0 {
+				t.Errorf("seed %d under %s: FALSE POSITIVE\n%s",
+					seed, tool.Name, res.Reporter.Log())
+			}
+		}
+	}
+}
+
+// TestLibFaultsDetected: LibFaults programs carry five contained
+// library faults; full EffectiveSan must report (the difftest oracle
+// loop asserts the cross-config agreement), the operations must still
+// compute the same value as the uninstrumented run, and the
+// NoIntrinsics ablation must miss at least the overlap report.
+func TestLibFaultsDetected(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		src := Generate(seed, Options{Types: 1, Rounds: 1, LibCalls: true, LibFaults: true})
+		run := func(tool *sanitizers.Tool) *sanitizers.RunResult {
+			prog, err := cc.Compile(src, ctypes.NewTable())
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			res, err := tool.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatalf("seed %d under %s: %v", seed, tool.Name, err)
+			}
+			return res
+		}
+		plain := run(sanitizers.ToolUninstrumented)
+		full := run(sanitizers.ToolEffectiveSan)
+		if full.Value != plain.Value {
+			t.Errorf("seed %d: checked value %d != uninstrumented %d (checks changed semantics)",
+				seed, full.Value, plain.Value)
+		}
+		kinds := full.Reporter.IssuesByKind()
+		for _, want := range []core.ErrorKind{core.OverlapError, core.BoundsError, core.BadFree} {
+			if kinds[want] == 0 {
+				t.Errorf("seed %d: no %s reported\n%s", seed, want, full.Reporter.Log())
+			}
+		}
+		ablated := run(sanitizers.ToolEffectiveSan.WithoutIntrinsics())
+		if ablated.Value != plain.Value {
+			t.Errorf("seed %d: NoIntrinsics value %d != uninstrumented %d",
+				seed, ablated.Value, plain.Value)
+		}
+		if ablated.Reporter.IssuesByKind()[core.OverlapError] != 0 {
+			t.Errorf("seed %d: NoIntrinsics reported an overlap (ablation not ablating)", seed)
+		}
+	}
+}
+
+// TestLibShapeOptions: the library options add the helpers and leave
+// the base RNG stream untouched.
+func TestLibShapeOptions(t *testing.T) {
+	base := Generate(7, Options{})
+	lib := Generate(7, Options{LibCalls: true})
+	if lib == base {
+		t.Fatal("LibCalls did not change the program")
+	}
+	for _, fn := range []string{"lib_mem", "lib_str", "lib_sort", "qsort"} {
+		if !strings.Contains(lib, fn) {
+			t.Fatalf("lib-calls source missing %s", fn)
+		}
+	}
+	faults := Generate(7, Options{LibCalls: true, LibFaults: true})
+	for _, fn := range []string{"fault_overlap", "fault_field", "fault_interior", "fault_strlen", "fault_sort"} {
+		if !strings.Contains(faults, fn) {
+			t.Fatalf("lib-faults source missing %s", fn)
+		}
+	}
+	if Generate(7, Options{}) != base {
+		t.Fatal("LibCalls plumbing broke base determinism")
 	}
 }
 

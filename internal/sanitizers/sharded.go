@@ -118,6 +118,7 @@ func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, o
 			NoCrossBlockElision: t.NoCrossBlockElision,
 			DomTreeElision:      t.DomTreeElision,
 			NoCheckMotion:       t.NoCheckMotion,
+			NoIntrinsics:        t.NoIntrinsics,
 		})
 		rt = core.NewRuntime(core.Options{
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,

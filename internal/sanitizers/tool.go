@@ -51,6 +51,11 @@ type Tool struct {
 	// provenance in the elision lattice — leaving check removal on (the
 	// "no-motion" Fig. 8 ablation) — instrument.Options.NoCheckMotion.
 	NoCheckMotion bool
+	// NoIntrinsics leaves libc intrinsic calls unchecked — the
+	// interpreter still runs the operations, but without the
+	// bounds/overlap/NUL-scan introspection (the library-boundary
+	// ablation) — instrument.Options.NoIntrinsics.
+	NoIntrinsics bool
 	// NoMagazines makes sharded workers allocate directly from the
 	// shared central heap instead of through per-worker magazines (the
 	// serialized-allocator ablation for the alloc-heavy Fig. 10 row).
@@ -133,6 +138,16 @@ func (t *Tool) WithoutCheckMotion() *Tool {
 func (t *Tool) WithoutMagazines() *Tool {
 	cp := *t
 	cp.NoMagazines = true
+	return &cp
+}
+
+// WithoutIntrinsics returns a copy of the tool with libc intrinsic
+// introspection disabled — intrinsic calls execute bare, so detection
+// at library boundaries degrades to whatever the surrounding raw-access
+// checks see (the library-boundary ablation).
+func (t *Tool) WithoutIntrinsics() *Tool {
+	cp := *t
+	cp.NoIntrinsics = true
 	return &cp
 }
 
@@ -229,6 +244,7 @@ func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint
 			NoCrossBlockElision: t.NoCrossBlockElision,
 			DomTreeElision:      t.DomTreeElision,
 			NoCheckMotion:       t.NoCheckMotion,
+			NoIntrinsics:        t.NoIntrinsics,
 		})
 		res.InstrStats = ist
 		rt := core.NewRuntime(core.Options{

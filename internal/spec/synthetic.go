@@ -80,10 +80,27 @@ func AllocHeavy() *Benchmark {
 	}
 }
 
+// LibCalls returns the library-call-heavy workload driving the libc
+// intrinsics (progen.Options.LibCalls, clean calls only — no LibFaults):
+// memset/memcpy/memmove walks, strcpy/strncpy/strlen over terminated
+// buffers and qsort re-entering the interpreter through its comparator.
+// It is kept out of Synthetic() — it prices the intrinsic introspection
+// layer (compare against WithoutIntrinsics), not the check optimiser, so
+// it joins the effbench ablations instead of the Fig. 8 bars.
+func LibCalls() *Benchmark {
+	return &Benchmark{
+		Name: "progen-libcalls",
+		Source: progen.Generate(61, progen.Options{
+			Types: 2, Funcs: 1, Rounds: 32, LibCalls: true,
+		}),
+		Entry: "main",
+	}
+}
+
 // SyntheticByName returns the named synthetic workload (including the
-// alloc-heavy one), or nil.
+// alloc-heavy and libcalls ones), or nil.
 func SyntheticByName(name string) *Benchmark {
-	for _, b := range append(Synthetic(), AllocHeavy()) {
+	for _, b := range append(Synthetic(), AllocHeavy(), LibCalls()) {
 		if b.Name == name {
 			return b
 		}
