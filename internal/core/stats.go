@@ -41,6 +41,23 @@ type Stats struct {
 	GlobalAllocs atomic.Uint64
 	Frees        atomic.Uint64
 	LegacyFrees  atomic.Uint64
+
+	// EpochChecks-mode counters (epoch.go). EvidenceRecords counts
+	// deferred events appended to the log; EpochValidations counts events
+	// the batch validator replayed — the two are equal at quiescence
+	// (every record validates exactly once) regardless of how the run was
+	// partitioned into epochs or workers, which is the invariant the
+	// -race stress test pins. EpochSweeps counts validation sweeps
+	// (partition-dependent, informational). EpochFallbacks counts checks
+	// resolved synchronously because the chain arena hit its cap.
+	// CanaryChecks/CanaryClobbers count slot-padding canary validations
+	// at free and the torn canaries among them.
+	EvidenceRecords  atomic.Uint64
+	EpochValidations atomic.Uint64
+	EpochSweeps      atomic.Uint64
+	EpochFallbacks   atomic.Uint64
+	CanaryChecks     atomic.Uint64
+	CanaryClobbers   atomic.Uint64
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -66,6 +83,13 @@ type StatsSnapshot struct {
 	GlobalAllocs uint64
 	Frees        uint64
 	LegacyFrees  uint64
+
+	EvidenceRecords  uint64
+	EpochValidations uint64
+	EpochSweeps      uint64
+	EpochFallbacks   uint64
+	CanaryChecks     uint64
+	CanaryClobbers   uint64
 }
 
 // counters lists every counter in canonical order — the single source of
@@ -81,6 +105,8 @@ func (s *Stats) counters() []*atomic.Uint64 {
 		&s.CheckCacheHits, &s.CheckCacheMisses, &s.LayoutMatches,
 		&s.HeapAllocs, &s.StackAllocs, &s.GlobalAllocs,
 		&s.Frees, &s.LegacyFrees,
+		&s.EvidenceRecords, &s.EpochValidations, &s.EpochSweeps,
+		&s.EpochFallbacks, &s.CanaryChecks, &s.CanaryClobbers,
 	}
 }
 
@@ -95,6 +121,8 @@ func (v *StatsSnapshot) fields() []*uint64 {
 		&v.CheckCacheHits, &v.CheckCacheMisses, &v.LayoutMatches,
 		&v.HeapAllocs, &v.StackAllocs, &v.GlobalAllocs,
 		&v.Frees, &v.LegacyFrees,
+		&v.EvidenceRecords, &v.EpochValidations, &v.EpochSweeps,
+		&v.EpochFallbacks, &v.CanaryChecks, &v.CanaryClobbers,
 	}
 }
 

@@ -84,6 +84,18 @@ func Matrix() []Config {
 		{Name: "sharded-4", Tool: full, Threads: 4},
 		{Name: "sharded-8", Tool: full, Threads: 8},
 		{Name: "sharded-4-no-magazines", Tool: full.WithoutMagazines(), Threads: 4},
+		// Epoch-mode cells: evidence-based checking must DETECT exactly
+		// what precise mode detects (same buckets), it may only coarsen
+		// report location — which Signature already excludes. The cap64
+		// cell forces epochs mid-loop; the sharded cells add per-worker
+		// logs above the shared heap; all keep the oracle quarantine so
+		// slot recycling stays out of the comparison.
+		{Name: "epoch", Tool: full.WithEpochChecks()},
+		{Name: "epoch-cap64", Tool: full.WithEpochCap(64)},
+		{Name: "epoch-sharded-2", Tool: full.WithEpochChecks(), Threads: 2},
+		{Name: "epoch-sharded-4", Tool: full.WithEpochChecks(), Threads: 4},
+		{Name: "epoch-sharded-8", Tool: full.WithEpochChecks(), Threads: 8},
+		{Name: "epoch-sharded-4-no-magazines", Tool: full.WithEpochChecks().WithoutMagazines(), Threads: 4},
 	}
 }
 

@@ -216,6 +216,12 @@ func FuzzDifferentialConfigs(f *testing.F) {
 	f.Add(EncodeInput(3, progen.Options{LibCalls: true, LibFaults: true, Interior: true, TempHeavy: true, Rounds: 2}))
 	f.Add(EncodeInput(4, progen.Options{LibCalls: true, Diamonds: 1, LoopHeavy: true, Rounds: 2}))
 	f.Add(EncodeInput(5, progen.Options{LibCalls: true, LibFaults: true, AllocHeavy: true, Rounds: 1}))
+	// Epoch flush-ordering stressor: loop-heavy so the epoch-cap64 cell
+	// forces sweeps mid-loop (after check motion hoisted record ops into
+	// preheaders), temporal faults so evidence recorded in epoch N refers
+	// to slots freed before validation, alloc-heavy to drive the
+	// allocator-tick epoch boundary.
+	f.Add(EncodeInput(6, progen.Options{LibCalls: true, LibFaults: true, LoopHeavy: true, TempHeavy: true, AllocHeavy: true, Rounds: 3}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seed, opts, ok := DecodeInput(data)
 		if !ok {

@@ -87,11 +87,11 @@ func TestFig8Ordering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// All ten bars must be present with positive timings, on the 19
+	// All eleven bars must be present with positive timings, on the 19
 	// SPEC rows and the four synthetic progen rows.
 	wantBars := []string{"Uninstrumented", "EffectiveSan", "EffectiveSan-noopt",
 		"EffectiveSan-nocache", "EffectiveSan-noinline", "EffectiveSan-perblock",
-		"EffectiveSan-domtree", "EffectiveSan-nomotion",
+		"EffectiveSan-domtree", "EffectiveSan-nomotion", "EffectiveSan-epoch",
 		"EffectiveSan-bounds", "EffectiveSan-type"}
 	if len(rows) != 23 {
 		t.Fatalf("%d rows, want 23 (19 SPEC + 4 progen)", len(rows))

@@ -96,8 +96,8 @@ func TestFig10AllocHeavyShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d, want 2 configs x 2 thread counts", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 3 configs x 2 thread counts", len(rows))
 	}
 	for _, r := range rows {
 		if r.Allocs == 0 || r.Frees == 0 || r.AllocsPerSec <= 0 {
@@ -116,6 +116,12 @@ func TestFig10AllocHeavyShape(t *testing.T) {
 			if r.Refills != 0 || r.Flushes != 0 {
 				t.Errorf("%s x%d: nomagazines rows must not touch magazines", r.Config, r.Threads)
 			}
+		case "EffectiveSan-epoch-magazines":
+			// Epoch mode rides the same magazine path; canary writes and
+			// evidence recording must not change the allocator traffic.
+			if r.Refills == 0 || r.Flushes == 0 {
+				t.Errorf("%s x%d: epoch magazine rows must show central traffic", r.Config, r.Threads)
+			}
 		default:
 			t.Errorf("unexpected config %q", r.Config)
 		}
@@ -123,6 +129,9 @@ func TestFig10AllocHeavyShape(t *testing.T) {
 	// The deterministic profile is identical across configurations.
 	if rows[0].Allocs != rows[2].Allocs || rows[0].Frees != rows[2].Frees {
 		t.Errorf("alloc profile differs across configs: %+v vs %+v", rows[0], rows[2])
+	}
+	if rows[0].Allocs != rows[4].Allocs || rows[0].Frees != rows[4].Frees {
+		t.Errorf("epoch alloc profile differs: %+v vs %+v", rows[0], rows[4])
 	}
 	if !strings.Contains(buf.String(), "alloc-heavy") {
 		t.Error("rendered table missing the alloc-heavy header")

@@ -108,6 +108,13 @@ type Options struct {
 	// library-boundary ablation. Detection through intrinsic calls then
 	// degrades to whatever the surrounding raw-access checks see.
 	NoIntrinsics bool
+	// EpochChecks lowers every check op to its evidence-recording form
+	// (OpTypeRecord/OpBoundsRecord/OpEscapeRecord) as a FINAL pass, after
+	// all elision/motion passes and site-ID assignment — the optimisers
+	// and the site numbering see exactly the precise-mode program, so
+	// epoch and precise configurations share site IDs and check counts.
+	// Requires a runtime built with core.Options.EpochChecks.
+	EpochChecks bool
 }
 
 // Stats reports what the pass did.
@@ -150,6 +157,9 @@ type Stats struct {
 	// from the same counter as CheckSites so every site keeps its own
 	// inline-cache slot). Zero under NoIntrinsics.
 	IntrinsicSites int
+	// RecordOps is the number of check ops rewritten to record ops by the
+	// EpochChecks lowering (zero unless Options.EpochChecks).
+	RecordOps int
 }
 
 // Instrument returns an instrumented deep copy of p; the input program is
@@ -165,7 +175,37 @@ func Instrument(p *mir.Program, opts Options) (*mir.Program, Stats) {
 		instrumentFunc(out, f, opts, &st)
 	}
 	assignSiteIDs(out, opts, &st)
+	if opts.EpochChecks {
+		lowerEpochRecords(out, &st)
+	}
 	return out, st
+}
+
+// lowerEpochRecords rewrites every check op to its evidence-recording
+// form. It runs strictly last: elision, motion and site-ID assignment
+// have all completed, so the lowered program is the precise program with
+// check ops renamed op-for-op — same sites, same operands, same order.
+// OpBoundsGet and OpBoundsNarrow are untouched: bounds_get is pure
+// arithmetic and narrow composes handles in the runtime (BoundsNarrow
+// detects evidence handles itself and appends chain nodes).
+func lowerEpochRecords(p *mir.Program, st *Stats) {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				switch b.Instrs[i].Op {
+				case mir.OpTypeCheck:
+					b.Instrs[i].Op = mir.OpTypeRecord
+					st.RecordOps++
+				case mir.OpBoundsCheck:
+					b.Instrs[i].Op = mir.OpBoundsRecord
+					st.RecordOps++
+				case mir.OpEscapeCheck:
+					b.Instrs[i].Op = mir.OpEscapeRecord
+					st.RecordOps++
+				}
+			}
+		}
+	}
 }
 
 // instrumentFunc rewrites one function in place.

@@ -1,0 +1,66 @@
+package lowfat
+
+import "repro/internal/mem"
+
+// This file implements slot-padding canaries for the EffectiveSan
+// runtime's epoch-checking mode (DoubleTake-style evidence). Every
+// low-fat slot is zeroed when handed out, and legal accesses are
+// confined to the header + requested bytes, so the slack between the
+// requested size and the slot size is an implicit canary: it must still
+// read as zero when the object is freed. A nonzero byte there is
+// evidence that an out-of-bounds write crossed the object's end.
+//
+// The canary value is deliberately zero (an assertion over the existing
+// alloc-time zeroing, not a magic pattern): the differential oracle
+// demands byte-identical memory across precise and epoch configurations,
+// and out-of-bounds reads really do load padding bytes into program
+// values — a nonzero pattern would leak into computation and break that
+// contract.
+
+// CanaryMax bounds the padding span inspected per slot, keeping the
+// per-free cost O(1) even for size classes with large slack.
+const CanaryMax = 32
+
+// CanarySpan returns the number of canary bytes for a slot at base
+// holding usable bytes (header + requested size): the padding between
+// usable and the slot size, capped at CanaryMax. Zero for legacy
+// pointers and exactly-full slots.
+func CanarySpan(base, usable uint64) uint64 {
+	slot := Size(base)
+	if slot == SizeMax || usable >= slot {
+		return 0
+	}
+	pad := slot - usable
+	if pad > CanaryMax {
+		pad = CanaryMax
+	}
+	return pad
+}
+
+// WriteCanary (re)establishes the canary after an allocation: the span
+// is forced to zero. Alloc already zeroes the whole slot, so this is an
+// idempotent re-assertion, kept explicit so the epoch mode's write/check
+// pairing is visible at the call sites.
+func WriteCanary(m *mem.Memory, base, usable uint64) {
+	if n := CanarySpan(base, usable); n > 0 {
+		m.Set(base+usable, 0, n)
+	}
+}
+
+// CheckCanary reports whether the canary span of the slot at base is
+// intact (all zero). Callers count clobbers; a torn canary is evidence
+// of an out-of-bounds write past the object's end.
+func CheckCanary(m *mem.Memory, base, usable uint64) bool {
+	n := CanarySpan(base, usable)
+	if n == 0 {
+		return true
+	}
+	var buf [CanaryMax]byte
+	m.ReadBytes(base+usable, buf[:n])
+	for _, b := range buf[:n] {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,107 @@
+package lowfat
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestCanaryAtSizeClassEdges walks every size class (mirroring
+// TestClassForBoundaries' edge discipline) and checks CanarySpan against
+// a linear oracle — min(slot-usable, CanaryMax), zero for a full slot —
+// then exercises the full write/clobber/heal cycle on a real allocation
+// at each edge. Classes above 1 MiB are skipped only to bound the
+// memory the test materialises; the span arithmetic is class-agnostic.
+func TestCanaryAtSizeClassEdges(t *testing.T) {
+	m := mem.New()
+	a := New(m, Options{})
+	oracleSpan := func(slot, usable uint64) uint64 {
+		if usable >= slot {
+			return 0
+		}
+		pad := slot - usable
+		if pad > CanaryMax {
+			pad = CanaryMax
+		}
+		return pad
+	}
+	for c := 0; c < NumClasses; c++ {
+		slot := classSize(c)
+		if slot > 1<<20 {
+			break
+		}
+		// usable = header+request edges: exactly-full slot, one byte of
+		// slack, a span larger than CanaryMax, and a minimal object.
+		for _, usable := range []uint64{slot, slot - 1, slot / 2, 1} {
+			if usable == 0 || usable > slot {
+				continue
+			}
+			base, err := a.Alloc(slot) // exact class-size request lands in class c
+			if err != nil {
+				t.Fatalf("class %d: %v", c, err)
+			}
+			if got := Size(base); got != slot {
+				t.Fatalf("class %d: Size(base) = %d, want %d", c, got, slot)
+			}
+			want := oracleSpan(slot, usable)
+			if got := CanarySpan(base, usable); got != want {
+				t.Errorf("class %d: CanarySpan(slot %d, usable %d) = %d, oracle %d",
+					c, slot, usable, got, want)
+			}
+			WriteCanary(m, base, usable)
+			if !CheckCanary(m, base, usable) {
+				t.Errorf("class %d usable %d: fresh canary not intact", c, usable)
+			}
+			if want > 0 {
+				// Clobber the LAST canary byte (the far edge of the span),
+				// then heal it with a re-assertion.
+				m.Set(base+usable+want-1, 0xAA, 1)
+				if CheckCanary(m, base, usable) {
+					t.Errorf("class %d usable %d: clobbered canary passed", c, usable)
+				}
+				WriteCanary(m, base, usable)
+				if !CheckCanary(m, base, usable) {
+					t.Errorf("class %d usable %d: healed canary still torn", c, usable)
+				}
+				// A write just past the span is out of the inspected
+				// window by design (CanaryMax caps the per-free cost).
+				if want == CanaryMax && slot-usable > CanaryMax {
+					m.Set(base+usable+want, 0xBB, 1)
+					if !CheckCanary(m, base, usable) {
+						t.Errorf("class %d usable %d: byte beyond CanaryMax tripped the canary", c, usable)
+					}
+					m.Set(base+usable+want, 0, 1)
+				}
+			}
+			if err := a.Free(base); err != nil {
+				t.Fatalf("class %d: free: %v", c, err)
+			}
+		}
+	}
+}
+
+// TestCanaryLegacyAndDegenerate pins the non-low-fat cases: legacy
+// pointers (Size == SizeMax) and usable >= slot have no canary span, and
+// Write/Check are no-ops that always pass.
+func TestCanaryLegacyAndDegenerate(t *testing.T) {
+	m := mem.New()
+	legacy := LegacyBase + 4096 // outside every size-class region
+	if got := CanarySpan(legacy, 8); got != 0 {
+		t.Errorf("legacy CanarySpan = %d, want 0", got)
+	}
+	WriteCanary(m, legacy, 8)
+	if !CheckCanary(m, legacy, 8) {
+		t.Error("legacy CheckCanary = false, want true")
+	}
+	a := New(m, Options{})
+	base, err := a.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CanarySpan(base, Size(base)+1); got != 0 {
+		t.Errorf("over-full CanarySpan = %d, want 0", got)
+	}
+	if !CheckCanary(m, base, Size(base)) {
+		t.Error("exactly-full slot must trivially pass")
+	}
+}

@@ -169,6 +169,7 @@ type Stats struct {
 	LegacyLive  uint64
 	BadFrees    uint64
 	Quarantined uint64
+	QuarEvicted uint64
 }
 
 // allocStats is the atomic form of Stats. Counters are plain atomic adds
@@ -182,6 +183,7 @@ type allocStats struct {
 	legacyLive  atomic.Uint64
 	badFrees    atomic.Uint64
 	quarantined atomic.Uint64
+	quarEvicted atomic.Uint64
 }
 
 // countAlloc records one allocation of slot bytes: Allocs, Live and the
@@ -212,6 +214,7 @@ func (s *allocStats) snapshot() Stats {
 		LegacyLive:  s.legacyLive.Load(),
 		BadFrees:    s.badFrees.Load(),
 		Quarantined: s.quarantined.Load(),
+		QuarEvicted: s.quarEvicted.Load(),
 	}
 }
 
@@ -363,6 +366,7 @@ func (a *Allocator) quarantinePutLocked(p uint64, c int) {
 		qc := int(q/RegionSize) - 1
 		a.freeLists[qc] = append(a.freeLists[qc], q)
 		a.quarBytes -= classSize(qc)
+		a.stats.quarEvicted.Add(1)
 	}
 	// Compact the consumed prefix once it dominates the backing array so
 	// the FIFO's memory stays proportional to what it actually holds.
@@ -442,3 +446,10 @@ func (a *Allocator) flush(c int, slots []uint64) {
 
 // quarantineEnabled reports whether the allocator delays slot reuse.
 func (a *Allocator) quarantineEnabled() bool { return a.opts.Quarantine > 0 }
+
+// EpochTick returns a counter that advances whenever the quarantine FIFO
+// evicts slots under byte pressure — the central heap's epoch-boundary
+// signal for the EffectiveSan runtime's deferred-check mode: a slot
+// leaving quarantine is about to be reused, so pending evidence should
+// be validated first.
+func (a *Allocator) EpochTick() uint64 { return a.stats.quarEvicted.Load() }

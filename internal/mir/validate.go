@@ -60,7 +60,8 @@ func (p *Program) validateFunc(f *Func) error {
 				}
 			}
 			switch in.Op {
-			case OpConst, OpLoad, OpStore, OpAlloca, OpMalloc, OpField, OpIndex, OpCast, OpTypeCheck:
+			case OpConst, OpLoad, OpStore, OpAlloca, OpMalloc, OpField, OpIndex, OpCast, OpTypeCheck,
+				OpTypeRecord:
 				if in.Type == nil {
 					return fail(bi, ii, "op %d requires a type annotation", in.Op)
 				}
@@ -156,9 +157,9 @@ func (in *Instr) regs() (uses []int, defs []int) {
 			return u, []int{in.Dst}
 		}
 		return u, nil
-	case OpBoundsCheck, OpBoundsMov:
+	case OpBoundsCheck, OpBoundsMov, OpBoundsRecord:
 		return []int{in.A, in.B}, nil
-	case OpTypeCheck, OpBoundsGet, OpBoundsNarrow, OpEscapeCheck:
+	case OpTypeCheck, OpBoundsGet, OpBoundsNarrow, OpEscapeCheck, OpTypeRecord, OpEscapeRecord:
 		return []int{in.A}, nil
 	}
 	return nil, nil

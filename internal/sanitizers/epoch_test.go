@@ -1,0 +1,409 @@
+package sanitizers
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bugsuite"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ctypes"
+	"repro/internal/instrument"
+	"repro/internal/mir"
+	"repro/internal/spec"
+)
+
+// epochConfigs returns full EffectiveSan precise (the reference) and the
+// epoch-mode configurations that must detect exactly the same bugs:
+// default cap, and a tiny cap that forces validation sweeps mid-loop.
+func epochConfigs() []*Tool {
+	return []*Tool{
+		ToolEffectiveSan,
+		ToolEffectiveSan.WithEpochChecks().Named("EffectiveSan-epoch"),
+		ToolEffectiveSan.WithEpochCap(64).Named("EffectiveSan-epoch-cap64"),
+	}
+}
+
+// TestEpochDetectionParityFig1 runs the Fig. 1 error-injection corpus
+// across the epoch matrix: deferring checks to epoch boundaries must
+// never change WHICH issues are found or how many distinct buckets there
+// are — only where in time they surface.
+func TestEpochDetectionParityFig1(t *testing.T) {
+	tools := epochConfigs()
+	for _, c := range bugsuite.Cases() {
+		prog, err := c.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		want := ""
+		for i, tool := range tools {
+			res, err := tool.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", c.Name, tool.Name, err)
+			}
+			got := issueSummary(res)
+			if i == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: %s issues %q != %s issues %q",
+					c.Name, tool.Name, got, tools[0].Name, want)
+			}
+		}
+	}
+}
+
+// TestEpochDetectionParityFig7 proves the same parity over all 19 Fig. 7
+// SPEC workloads plus the synthetic rows: identical issue sets, identical
+// program results, the paper's issue column still exact under epochs, and
+// identical dynamic check counts (#Type/#Bound are counted at record
+// time, so Fig. 7's columns don't depend on the checking mode). Pending
+// evidence must also be fully drained: records == validations.
+func TestEpochDetectionParityFig7(t *testing.T) {
+	benches := append(spec.Benchmarks(), spec.Synthetic()...)
+	tools := epochConfigs()
+	for _, b := range benches {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		want := ""
+		var wantVal, wantChecks uint64
+		for i, tool := range tools {
+			res, err := tool.Exec(prog, b.Entry, io.Discard)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", b.Name, tool.Name, err)
+			}
+			checks := res.Stats.TypeChecks + res.Stats.BoundsChecks + res.Stats.BoundsNarrows
+			if i == 0 {
+				want = issueSummary(res)
+				wantVal = res.Value
+				wantChecks = checks
+				if res.Stats.EvidenceRecords != 0 {
+					t.Errorf("%s: precise mode recorded %d evidence events", b.Name, res.Stats.EvidenceRecords)
+				}
+				continue
+			}
+			if res.InstrStats.RecordOps == 0 {
+				t.Errorf("%s under %s: no record ops lowered", b.Name, tool.Name)
+			}
+			if got := issueSummary(res); got != want {
+				t.Errorf("%s: %s issues %q != %s issues %q",
+					b.Name, tool.Name, got, tools[0].Name, want)
+			}
+			if res.Value != wantVal {
+				t.Errorf("%s: %s result %d != %d (epochs changed semantics)",
+					b.Name, tool.Name, res.Value, wantVal)
+			}
+			if checks != wantChecks {
+				t.Errorf("%s: %s executed %d checks, precise %d (Fig. 7 columns must not depend on the mode)",
+					b.Name, tool.Name, checks, wantChecks)
+			}
+			if res.Stats.EvidenceRecords != res.Stats.EpochValidations {
+				t.Errorf("%s: %s left evidence pending: %d recorded, %d validated",
+					b.Name, tool.Name, res.Stats.EvidenceRecords, res.Stats.EpochValidations)
+			}
+			if bm := spec.ByName(b.Name); bm != nil {
+				if got := res.Reporter.NumIssues(); got != bm.PaperIssues {
+					t.Errorf("%s under %s: issues = %d, want %d (paper Fig. 7)",
+						b.Name, tool.Name, got, bm.PaperIssues)
+				}
+			}
+		}
+	}
+}
+
+// TestEpochBugsuiteExpectations re-asserts every Expect-pinned bugsuite
+// case (the CVE-shaped libc corpus) under EpochChecks: the exact pinned
+// kind set, no more, no fewer — deferred validation must not lose or
+// invent detections.
+func TestEpochBugsuiteExpectations(t *testing.T) {
+	pinned := 0
+	for _, c := range bugsuite.Cases() {
+		if c.Expect == nil {
+			continue
+		}
+		pinned++
+		prog, err := c.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		for _, tool := range epochConfigs()[1:] {
+			res, err := tool.Exec(prog, "main", io.Discard)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", c.Name, tool.Name, err)
+			}
+			want := map[core.ErrorKind]bool{}
+			for _, k := range c.Expect {
+				want[k] = true
+			}
+			got := map[core.ErrorKind]bool{}
+			for _, is := range res.Reporter.Issues() {
+				got[is.Kind] = true
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("%s under %s: missed %s", c.Name, tool.Name, k)
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					t.Errorf("%s under %s: extra %s report", c.Name, tool.Name, k)
+				}
+			}
+		}
+	}
+	if pinned == 0 {
+		t.Fatal("no Expect-pinned bugsuite cases; the assertion is vacuous")
+	}
+}
+
+// epochMidLoopSrc pairs a loop-invariant downcast in the while HEADER —
+// the block that dominates the loop's exit and latch, so the motion
+// pass hoists its whole check chain into the preheader, leaving the
+// evidence handle live in a register across the whole loop — with a
+// fresh per-iteration confusion in the body that fills the epoch cap.
+// Both are NON-trivial checks (struct view / float against struct
+// pair), so they defer rather than resolving at record time. The body
+// must stay free of calls and frees: those are motion barriers.
+const epochMidLoopSrc = `
+struct pair { int a[2]; int tail; };
+struct view { int v; };
+
+int work(struct pair *s, struct pair *arr) {
+    int acc = 0;
+    int i = 0;
+    while (i < 64 + ((struct view *)s)->v) {   /* invariant downcast: hoisted record */
+        struct pair *p = arr + (i & 7);
+        float *f = (float *)p;                  /* fresh every iteration: fills the cap */
+        acc += (int)*f + i;
+        i = i + 1;
+    }
+    return acc;
+}
+
+int main() {
+    struct pair *s = malloc(sizeof(struct pair));
+    struct pair *arr = malloc(8 * sizeof(struct pair));
+    s->tail = 7;
+    int r = work(s, arr);
+    free(arr);
+    free(s);
+    return r;
+}
+`
+
+// TestEpochMidLoopBoundary pins the interaction between check motion and
+// epochs: the motion pass hoists a loop-invariant record op into the
+// preheader, a live register then holds an evidence handle across the
+// whole loop — and a tiny cap forces validation sweeps MID-loop, while
+// the handle is still live (sweeps clear the event log but must keep
+// the node arena, or the hoisted handle would dangle). Detection and
+// check counts must match precise mode regardless.
+func TestEpochMidLoopBoundary(t *testing.T) {
+	prog, err := cc.Compile(epochMidLoopSrc, ctypes.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	precise, err := ToolEffectiveSan.Exec(prog, "main", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := ToolEffectiveSan.WithEpochCap(16).Named("EffectiveSan-epoch-cap16").
+		Exec(prog, "main", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := epoch.InstrStats; st.HoistedChecks == 0 {
+		t.Errorf("motion pass hoisted nothing (%+v); the workload exists to exercise it", st)
+	}
+	if epoch.Stats.EvidenceRecords == 0 {
+		t.Fatal("nothing deferred; the mid-loop scenario is vacuous")
+	}
+	if epoch.Stats.EpochSweeps < 2 {
+		t.Errorf("EpochSweeps = %d, want several mid-run sweeps under cap 16", epoch.Stats.EpochSweeps)
+	}
+	if got, want := issueSummary(epoch), issueSummary(precise); got != want {
+		t.Errorf("mid-loop epochs changed detection: %q != %q", got, want)
+	}
+	if epoch.Value != precise.Value {
+		t.Errorf("result %d != %d", epoch.Value, precise.Value)
+	}
+	if epoch.Stats.EvidenceRecords != epoch.Stats.EpochValidations {
+		t.Errorf("evidence pending at exit: %d recorded, %d validated",
+			epoch.Stats.EvidenceRecords, epoch.Stats.EpochValidations)
+	}
+}
+
+// epochStressSrc allocates, checks and frees in a loop with a deliberate
+// type confusion and a sub-object overflow, so every iteration records
+// type, bounds and escape evidence and recycles slots through the heap.
+const epochStressSrc = `
+struct pair { int a[2]; int tail; };
+
+int work() {
+    int acc = 0;
+    for (int i = 0; i < 64; i++) {
+        struct pair *p = malloc(sizeof(struct pair));
+        p->a[0] = i;
+        p->a[1] = i + 1;
+        p->tail = p->a[0] + p->a[1];
+        float *f = (float *)p;       // type confusion, every iteration
+        acc += p->tail + (int)*f;
+        free(p);
+    }
+    return acc;
+}
+
+int main() {
+    return work();
+}
+`
+
+// TestEpochShardedRaceStress is the -race stress: N workers share one
+// EpochChecks runtime through per-worker stats/heap/epoch views while a
+// hammer goroutine forces epochs via RequestEpoch as fast as it can, and
+// freed slots migrate between workers through the shared central heap.
+// At quiescence the merged counters must satisfy records == validations
+// (every evidence event validates exactly once, however the run was cut
+// into epochs) and must equal the single-threaded canonical counts —
+// partitioning into workers and epochs changes nothing but timing.
+func TestEpochShardedRaceStress(t *testing.T) {
+	prog, err := cc.Compile(epochStressSrc, ctypes.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, ist := instrument.Instrument(prog, instrument.Options{
+		Variant: instrument.Full, EpochChecks: true,
+	})
+	if ist.RecordOps == 0 {
+		t.Fatal("no record ops lowered")
+	}
+	if err := ip.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 64
+	run := func(workers int, hammer bool) core.StatsSnapshot {
+		rt := core.NewRuntime(core.Options{
+			Types: prog.Types, Mode: core.ModeCount,
+			EpochChecks: true, EpochCap: 32,
+		})
+		stop := make(chan struct{})
+		var hammerWG sync.WaitGroup
+		if hammer {
+			hammerWG.Add(1)
+			go func() {
+				defer hammerWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						rt.RequestEpoch()
+						runtime.Gosched()
+					}
+				}
+			}()
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		merged := make([]core.StatsSnapshot, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sink := &core.Stats{}
+				mag := rt.NewMagazine()
+				view := rt.StatsView(sink).HeapView(mag).EpochView()
+				in, err := mir.New(ip, mir.Options{Env: mir.NewEffEnv(view), NoValidate: true})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for next.Add(1) <= jobs {
+					if _, err := in.Run("main"); err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+				}
+				view.EpochFlush() // worker retirement boundary
+				mag.Flush()
+				merged[w] = sink.Snapshot()
+			}(w)
+		}
+		wg.Wait()
+		close(stop)
+		hammerWG.Wait()
+		var total core.StatsSnapshot
+		for _, m := range merged {
+			total = total.Add(m)
+		}
+		return total
+	}
+
+	canon := run(1, false)
+	if canon.EvidenceRecords == 0 {
+		t.Fatal("stress program recorded no evidence")
+	}
+	if canon.EvidenceRecords != canon.EpochValidations {
+		t.Fatalf("canonical run left evidence pending: %d recorded, %d validated",
+			canon.EvidenceRecords, canon.EpochValidations)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers, true)
+		if got.EvidenceRecords != got.EpochValidations {
+			t.Errorf("%d workers: %d recorded, %d validated — evidence lost or double-counted",
+				workers, got.EvidenceRecords, got.EpochValidations)
+		}
+		if got.EvidenceRecords != canon.EvidenceRecords {
+			t.Errorf("%d workers: EvidenceRecords = %d, canonical %d",
+				workers, got.EvidenceRecords, canon.EvidenceRecords)
+		}
+		if got.TypeChecks != canon.TypeChecks || got.BoundsChecks != canon.BoundsChecks {
+			t.Errorf("%d workers: checks %d/%d, canonical %d/%d",
+				workers, got.TypeChecks, got.BoundsChecks, canon.TypeChecks, canon.BoundsChecks)
+		}
+	}
+}
+
+// TestEpochShardedExec covers the Tool-level sharded path: ExecSharded
+// with EpochChecks gives every worker its own evidence log and flushes
+// it at retirement, so the aggregate drains completely and detection
+// matches the single-threaded epoch run.
+func TestEpochShardedExec(t *testing.T) {
+	prog, err := cc.Compile(epochStressSrc, ctypes.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := ToolEffectiveSan.WithEpochChecks().Named("EffectiveSan-epoch")
+	single, err := tool.Exec(prog, "main", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := tool.ExecSharded(prog, "main", 8, 4, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Stats.EvidenceRecords == 0 {
+		t.Fatal("sharded run recorded no evidence")
+	}
+	if sr.Stats.EvidenceRecords != sr.Stats.EpochValidations {
+		t.Errorf("sharded run left evidence pending: %d recorded, %d validated",
+			sr.Stats.EvidenceRecords, sr.Stats.EpochValidations)
+	}
+	if got, want := sr.Stats.EvidenceRecords, single.Stats.EvidenceRecords*8; got != want {
+		t.Errorf("8 jobs recorded %d events, want %d (8x single job)", got, want)
+	}
+	kinds := sr.Reporter.IssuesByKind()
+	wantKinds := single.Reporter.IssuesByKind()
+	for k, n := range wantKinds {
+		if kinds[k] != n {
+			t.Errorf("sharded buckets of %s = %d, single-threaded %d", k, kinds[k], n)
+		}
+	}
+}

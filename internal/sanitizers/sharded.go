@@ -119,10 +119,12 @@ func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, o
 			DomTreeElision:      t.DomTreeElision,
 			NoCheckMotion:       t.NoCheckMotion,
 			NoIntrinsics:        t.NoIntrinsics,
+			EpochChecks:         t.EpochChecks,
 		})
 		rt = core.NewRuntime(core.Options{
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,
 			CheckCacheSize: t.CheckCache, NoInlineCache: t.NoInlineCache,
+			EpochChecks: t.EpochChecks, EpochCap: t.EpochCap,
 		})
 		res.Reporter = rt.Reporter
 	}
@@ -147,12 +149,18 @@ func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, o
 			var env mir.Env
 			var sink *core.Stats
 			var mag *lowfat.Magazine
+			var view *core.Runtime
 			if rt != nil {
 				sink = &core.Stats{}
-				view := rt.StatsView(sink)
+				view = rt.StatsView(sink)
 				if !t.NoMagazines {
 					mag = rt.NewMagazine()
 					view = view.HeapView(mag)
+				}
+				if t.EpochChecks {
+					// Each worker owns its evidence log; the shared epoch
+					// generation (RequestEpoch) still reaches every view.
+					view = view.EpochView()
 				}
 				env = mir.NewEffEnv(view)
 			} else if !t.NoMagazines {
@@ -183,6 +191,12 @@ func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, o
 				ws.Jobs++
 			}
 			ws.BusyNs = time.Since(begin).Nanoseconds()
+			if view != nil && t.EpochChecks {
+				// Worker retirement is an epoch boundary: validate any
+				// evidence a failed job left pending before the worker's
+				// sink is snapshotted (a clean Run flushes on its own).
+				view.EpochFlush()
+			}
 			if mag != nil {
 				// Return cached slots to the central heap so nothing is
 				// stranded when the worker retires; canonical Stats never

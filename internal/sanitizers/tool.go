@@ -56,6 +56,16 @@ type Tool struct {
 	// bounds/overlap/NUL-scan introspection (the library-boundary
 	// ablation) — instrument.Options.NoIntrinsics.
 	NoIntrinsics bool
+	// EpochChecks selects the evidence-based epoch checking mode
+	// (DoubleTake-style): check ops are lowered to record ops that append
+	// evidence to a per-worker log, and a batch validator replays the log
+	// at epoch boundaries. Detection (bucket kinds and counts) is
+	// identical to precise mode; only report LOCATION may coarsen
+	// (FirstSite/ordering) — the contract the difftest oracle enforces.
+	EpochChecks bool
+	// EpochCap bounds the pending-evidence log; a full log forces an
+	// epoch (0 = default). Small caps stress mid-loop epoch boundaries.
+	EpochCap int
 	// NoMagazines makes sharded workers allocate directly from the
 	// shared central heap instead of through per-worker magazines (the
 	// serialized-allocator ablation for the alloc-heavy Fig. 10 row).
@@ -148,6 +158,26 @@ func (t *Tool) WithoutMagazines() *Tool {
 func (t *Tool) WithoutIntrinsics() *Tool {
 	cp := *t
 	cp.NoIntrinsics = true
+	return &cp
+}
+
+// WithEpochChecks returns a copy of the tool in evidence-based epoch
+// checking mode: hot-path checks only record evidence, validated in
+// batches at epoch boundaries (quarantine/magazine flush, worker
+// retirement, run exit). Same detection as precise mode, coarser report
+// locations.
+func (t *Tool) WithEpochChecks() *Tool {
+	cp := *t
+	cp.EpochChecks = true
+	return &cp
+}
+
+// WithEpochCap returns a copy of the tool with an explicit pending-
+// evidence cap (implies epoch mode). Small caps force epochs mid-loop.
+func (t *Tool) WithEpochCap(n int) *Tool {
+	cp := *t
+	cp.EpochChecks = true
+	cp.EpochCap = n
 	return &cp
 }
 
@@ -245,11 +275,13 @@ func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint
 			DomTreeElision:      t.DomTreeElision,
 			NoCheckMotion:       t.NoCheckMotion,
 			NoIntrinsics:        t.NoIntrinsics,
+			EpochChecks:         t.EpochChecks,
 		})
 		res.InstrStats = ist
 		rt := core.NewRuntime(core.Options{
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,
 			CheckCacheSize: t.CheckCache, NoInlineCache: t.NoInlineCache,
+			EpochChecks: t.EpochChecks, EpochCap: t.EpochCap,
 		})
 		res.Reporter = rt.Reporter
 		in, err = mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt), Out: out})
