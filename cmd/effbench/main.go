@@ -43,9 +43,18 @@ import (
 // fig8JSON is the machine-readable form of the Fig. 8 series, committed
 // as BENCH_fig8.json so successive PRs have a perf trajectory.
 type fig8JSON struct {
-	Experiment      string             `json:"experiment"`
-	Rows            []harness.Fig8Row  `json:"rows"`
+	Experiment string            `json:"experiment"`
+	Rows       []harness.Fig8Row `json:"rows"`
+	// GoMaxProcs records the measuring machine's parallelism. The bars
+	// themselves are single-threaded, but the test suite (and CI) runs
+	// them under contention, so cross-run comparisons should confirm the
+	// parallelism matched before reading small deltas as regressions.
+	GoMaxProcs      int                `json:"gomaxprocs"`
 	GeomeanOverhead map[string]float64 `json:"geomean_overhead"`
+	// Caveat flags measurement conditions that bias the bars — currently
+	// set when GOMAXPROCS is 1, where timer resolution and run-to-run
+	// scheduling noise dominate the cheap ablation gaps.
+	Caveat string `json:"caveat,omitempty"`
 }
 
 // fig10JSON is the machine-readable form of the Fig. 10 series — the
@@ -129,7 +138,14 @@ func main() {
 		if err != nil || *jsonPath == "" {
 			return err
 		}
-		out := fig8JSON{Experiment: "fig8", Rows: rows, GeomeanOverhead: map[string]float64{}}
+		out := fig8JSON{Experiment: "fig8", Rows: rows,
+			GoMaxProcs: runtime.GOMAXPROCS(0), GeomeanOverhead: map[string]float64{}}
+		if out.GoMaxProcs == 1 {
+			out.Caveat = "bars measured with GOMAXPROCS=1: scheduling noise " +
+				"and timer resolution dominate the cheap ablation gaps, so " +
+				"read only the large-overhead orderings"
+			fmt.Fprintf(os.Stderr, "effbench: warning: %s\n", out.Caveat)
+		}
 		// Derive the instrumented configurations from the rows themselves,
 		// so added or renamed Fig. 8 bars flow into the JSON automatically.
 		if len(rows) > 0 {

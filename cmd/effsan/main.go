@@ -6,6 +6,7 @@
 // Usage:
 //
 //	effsan [-variant full|bounds|type|none] [-tool NAME] [-abort N] [-epoch] [-stats] prog.c
+//	effsan -warn-static prog.c
 //
 // With -variant (default full) the program is instrumented per the
 // Fig. 3 schema and run on the EffectiveSan runtime. With -tool, one of
@@ -16,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cc"
@@ -38,6 +40,8 @@ func main() {
 		"evidence events per log before a forced validation sweep (0 = default 2^16; implies -epoch)")
 	stats := flag.Bool("stats", false, "print runtime check statistics")
 	entry := flag.String("entry", "main", "entry function")
+	warnStatic := flag.Bool("warn-static", false,
+		"compile only: print the static safety analysis' STATIC-UNSAFE diagnostics (checks proven to report on every execution that reaches them) and exit without running")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -52,6 +56,10 @@ func main() {
 	prog, err := cc.Compile(string(src), ctypes.NewTable())
 	if err != nil {
 		fatal(err)
+	}
+
+	if *warnStatic {
+		os.Exit(runWarnStatic(prog, *entry, os.Stdout))
 	}
 
 	var cfg *sanitizers.Tool
@@ -98,11 +106,40 @@ func main() {
 	report(res.Reporter, res.Stats, res.Value, *stats)
 }
 
+// runWarnStatic is the -warn-static compile-only mode: instrument
+// (running the interprocedural static safety pass) and print one
+// diagnostic per STATIC-UNSAFE check site — a check proven to report an
+// error on every execution that reaches it. The verdicts come from the
+// same pass the full pipeline runs, so what is printed is exactly what
+// a real run keeps and reports at runtime. Returns the process exit
+// code: 1 when any site is flagged, 0 on a clean program.
+func runWarnStatic(prog *mir.Program, entry string, w io.Writer) int {
+	_, st := instrument.Instrument(prog, instrument.Options{
+		Variant: instrument.Full, StaticEntry: entry,
+	})
+	if len(st.StaticDiags) == 0 {
+		fmt.Fprintln(w, "no STATIC-UNSAFE check sites")
+		return 0
+	}
+	for _, d := range st.StaticDiags {
+		loc := d.Site
+		if loc == "" {
+			loc = "?"
+		}
+		fmt.Fprintf(w, "%s: warning: %s check always fails in %s: %s", loc, d.Kind, d.Func, d.Reason)
+		if d.SiteID != 0 {
+			fmt.Fprintf(w, " [site %d]", d.SiteID)
+		}
+		fmt.Fprintln(w)
+	}
+	return 1
+}
+
 func runWithAbort(prog *mir.Program, cfg *sanitizers.Tool, entry string,
 	abortAfter, quarantine uint64, stats bool) {
 
 	ip, _ := instrument.Instrument(prog, instrument.Options{
-		Variant: cfg.Variant, EpochChecks: cfg.EpochChecks,
+		Variant: cfg.Variant, EpochChecks: cfg.EpochChecks, StaticEntry: entry,
 	})
 	rt := core.NewRuntime(core.Options{
 		Types: prog.Types, Mode: core.ModeLog,

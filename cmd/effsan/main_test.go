@@ -1,0 +1,87 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/bugsuite"
+	"repro/internal/core"
+	"repro/internal/sanitizers"
+)
+
+// findCase pulls one named case out of the bugsuite corpus.
+func findCase(t *testing.T, name string) *bugsuite.Case {
+	t.Helper()
+	for _, c := range bugsuite.Cases() {
+		if c.Name == name {
+			return &c
+		}
+	}
+	t.Fatalf("bugsuite case %q missing", name)
+	return nil
+}
+
+// TestWarnStaticFlagsBugsuiteCase drives the -warn-static compile-only
+// mode over the bugsuite's static-oob case: the constant out-of-bounds
+// global access must produce at least one diagnostic naming the
+// allocation, with exit code 1 — and the runtime report for the same
+// program must be unchanged (the flagged checks are kept, not deleted).
+func TestWarnStaticFlagsBugsuiteCase(t *testing.T) {
+	c := findCase(t, "static-oob")
+	prog, err := c.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if code := runWarnStatic(prog, "main", &out); code != 1 {
+		t.Fatalf("exit code %d, want 1; output:\n%s", code, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "warning:") || !strings.Contains(text, "always fails") {
+		t.Errorf("diagnostic text malformed:\n%s", text)
+	}
+	if !strings.Contains(text, "gtab") {
+		t.Errorf("diagnostic does not name the overflowed allocation:\n%s", text)
+	}
+	if !strings.Contains(text, "main") {
+		t.Errorf("diagnostic does not name the containing function:\n%s", text)
+	}
+
+	// The runtime report is byte-identical to the case's pinned Expect:
+	// -warn-static surfaces the site at compile time but the check stays.
+	prog2, err := c.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sanitizers.ToolEffectiveSan.Exec(prog2, "main", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[core.ErrorKind]bool{}
+	for _, is := range res.Reporter.Issues() {
+		kinds[is.Kind] = true
+	}
+	for _, k := range c.Expect {
+		if !kinds[k] {
+			t.Errorf("runtime run missed %s (issues: %v)", k, res.Reporter.Issues())
+		}
+	}
+}
+
+// TestWarnStaticCleanProgram: a provably-clean program produces no
+// diagnostics and exit code 0.
+func TestWarnStaticCleanProgram(t *testing.T) {
+	c := findCase(t, "clean-matrix")
+	prog, err := c.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if code := runWarnStatic(prog, "main", &out); code != 0 {
+		t.Fatalf("clean program exit code %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no STATIC-UNSAFE") {
+		t.Errorf("clean-program output malformed:\n%s", out.String())
+	}
+}

@@ -438,6 +438,23 @@ int main() {
 			Expect: []core.ErrorKind{core.BoundsError},
 		},
 		{
+			Name:  "static-oob",
+			Class: Extra,
+			Desc: "constant out-of-bounds index into a fixed-extent global: the " +
+				"interprocedural static safety analysis proves the access can " +
+				"never be in bounds and flags the site STATIC-UNSAFE at compile " +
+				"time (effsan -warn-static); the check itself is kept, so the " +
+				"runtime report is byte-identical with the analysis on or off",
+			Src: `
+long gtab[8];
+
+int main() {
+    gtab[9] = 1;            // constant offset 72 beyond the 64-byte extent
+    return (int)gtab[9];
+}`,
+			Expect: []core.ErrorKind{core.BoundsError},
+		},
+		{
 			Name:  "clean-list",
 			Class: Clean,
 			Desc:  "correct linked-list workout (false-positive control)",

@@ -80,6 +80,12 @@ func Matrix() []Config {
 		{Name: "per-block", Tool: full.PerBlockElision()},
 		{Name: "dom-tree", Tool: full.WithDomTreeElision()},
 		{Name: "no-motion", Tool: full.WithoutCheckMotion()},
+		// The static-elision ablation: the interprocedural safety
+		// analysis deletes provably-redundant checks at compile time, so
+		// running with it off must detect exactly the same buckets —
+		// anything a deleted check would have reported is a
+		// disagreement, i.e. an unsound verdict.
+		{Name: "no-static", Tool: full.WithoutStaticElision()},
 		{Name: "sharded-2", Tool: full, Threads: 2},
 		{Name: "sharded-4", Tool: full, Threads: 4},
 		{Name: "sharded-8", Tool: full, Threads: 8},
@@ -196,6 +202,12 @@ func Check(prog *mir.Program) (*Mismatch, error) {
 //	bit 1  Diamonds    bit 4  LoopHeavy
 //	bit 2  Interior    bit 5  AllocHeavy
 //	bits 6-7  Rounds-1 (1..4)
+//
+// An optional tenth byte extends the option space (older 9-byte corpus
+// entries stay valid): bit 0 toggles the StaticSafe workload, the
+// provably-bounded walks the static safety analysis deletes checks
+// from, so the no-static cell gets inputs where the two sides actually
+// differ in instruction count.
 const inputLen = 9
 
 // DecodeInput parses a fuzz input. ok is false for short inputs (the
@@ -218,13 +230,16 @@ func DecodeInput(data []byte) (seed int64, opts progen.Options, ok bool) {
 	if b&2 != 0 {
 		opts.Diamonds = 1
 	}
+	if len(data) > inputLen && data[inputLen]&1 != 0 {
+		opts.StaticSafe = true
+	}
 	return seed, opts, true
 }
 
 // EncodeInput is the inverse of DecodeInput (for seeding the corpus and
 // writing reproducers).
 func EncodeInput(seed int64, opts progen.Options) []byte {
-	data := make([]byte, inputLen)
+	data := make([]byte, inputLen+1)
 	binary.LittleEndian.PutUint64(data[:8], uint64(seed))
 	var b byte
 	if opts.LibFaults {
@@ -254,6 +269,9 @@ func EncodeInput(seed int64, opts progen.Options) []byte {
 	}
 	b |= byte(r) << 6
 	data[8] = b
+	if opts.StaticSafe {
+		data[9] |= 1
+	}
 	return data
 }
 
@@ -287,6 +305,7 @@ func Fails(seed int64, opts progen.Options) bool {
 // failing configuration for the same seed.
 func Shrink(seed int64, opts progen.Options) progen.Options {
 	reductions := []func(*progen.Options){
+		func(o *progen.Options) { o.StaticSafe = false },
 		func(o *progen.Options) { o.AllocHeavy = false },
 		func(o *progen.Options) { o.LoopHeavy = false },
 		func(o *progen.Options) { o.TempHeavy = false },
@@ -321,7 +340,7 @@ func WriteReproducer(dir string, seed int64, opts progen.Options) (string, error
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, fmt.Sprintf("shrunk-seed%d-opts%02x", seed, data[8]))
+	path := filepath.Join(dir, fmt.Sprintf("shrunk-seed%d-opts%02x%02x", seed, data[8], data[9]))
 	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		return "", err
 	}

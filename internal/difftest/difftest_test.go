@@ -42,7 +42,8 @@ func TestDifferentialOracle(t *testing.T) {
 			for i := c; i < programs; i += chunks {
 				seed := int64(40_000 + i)
 				input := EncodeInput(seed, progen.Options{})
-				input[8] = byte(i) // sweep the whole option byte
+				input[8] = byte(i)     // sweep the whole option byte
+				input[9] = byte(i & 1) // StaticSafe on half the programs
 				seed, opts, ok := DecodeInput(input)
 				if !ok {
 					t.Fatalf("i=%d: encode/decode broken", i)
@@ -169,6 +170,19 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			t.Fatalf("byte %#02x round-tripped to %#02x (opts %+v)", b, out[8], opts)
 		}
 	}
+	// The tenth (extension) byte: bit 0 round-trips through StaticSafe,
+	// and bare 9-byte inputs — the pre-extension corpus format — still
+	// decode with it off.
+	in := EncodeInput(99, progen.Options{StaticSafe: true})
+	if in[9] != 1 {
+		t.Fatalf("StaticSafe encoded to %#02x, want 1", in[9])
+	}
+	if _, opts, ok := DecodeInput(in); !ok || !opts.StaticSafe {
+		t.Fatalf("StaticSafe lost in decode: %+v", opts)
+	}
+	if _, opts, ok := DecodeInput(in[:9]); !ok || opts.StaticSafe {
+		t.Fatalf("9-byte legacy input decoded wrong: %+v", opts)
+	}
 	if _, _, ok := DecodeInput([]byte{1, 2, 3}); ok {
 		t.Fatal("short input accepted")
 	}
@@ -188,7 +202,8 @@ func TestShrinkReachesFixpoint(t *testing.T) {
 	// dimensions on, and re-encoding the all-off result is byte zero.
 	_, maximal, _ := DecodeInput(EncodeInput(3, progen.Options{
 		LibFaults: true, Diamonds: 1, Interior: true,
-		TempHeavy: true, LoopHeavy: true, AllocHeavy: true, Rounds: 4,
+		TempHeavy: true, LoopHeavy: true, AllocHeavy: true,
+		StaticSafe: true, Rounds: 4,
 	}))
 	reduced := maximal
 	reduced.LibFaults = false
@@ -197,9 +212,10 @@ func TestShrinkReachesFixpoint(t *testing.T) {
 	reduced.TempHeavy = false
 	reduced.LoopHeavy = false
 	reduced.AllocHeavy = false
+	reduced.StaticSafe = false
 	reduced.Rounds = 1
-	if got := EncodeInput(3, reduced); got[8] != 0 {
-		t.Fatalf("fully reduced options encode to %#02x, want 0", got[8])
+	if got := EncodeInput(3, reduced); got[8] != 0 || got[9] != 0 {
+		t.Fatalf("fully reduced options encode to %#02x %#02x, want 0 0", got[8], got[9])
 	}
 }
 
@@ -222,6 +238,14 @@ func FuzzDifferentialConfigs(f *testing.F) {
 	// to slots freed before validation, alloc-heavy to drive the
 	// allocator-tick epoch boundary.
 	f.Add(EncodeInput(6, progen.Options{LibCalls: true, LibFaults: true, LoopHeavy: true, TempHeavy: true, AllocHeavy: true, Rounds: 3}))
+	// Static-elision stressors: the StaticSafe workload is where the
+	// no-static cell actually differs in instruction count (the analysis
+	// proves its walks safe and deletes their checks), so these seeds
+	// pin value and report parity across the deletion. The second one
+	// mixes in faulting libc traffic and temporal churn so deleted
+	// checks sit next to ones that must still fire.
+	f.Add(EncodeInput(7, progen.Options{LibCalls: true, StaticSafe: true, Rounds: 2}))
+	f.Add(EncodeInput(8, progen.Options{LibCalls: true, LibFaults: true, TempHeavy: true, StaticSafe: true, Rounds: 3}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seed, opts, ok := DecodeInput(data)
 		if !ok {

@@ -87,14 +87,15 @@ func TestFig8Ordering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// All eleven bars must be present with positive timings, on the 19
-	// SPEC rows and the four synthetic progen rows.
-	wantBars := []string{"Uninstrumented", "EffectiveSan", "EffectiveSan-noopt",
-		"EffectiveSan-nocache", "EffectiveSan-noinline", "EffectiveSan-perblock",
-		"EffectiveSan-domtree", "EffectiveSan-nomotion", "EffectiveSan-epoch",
-		"EffectiveSan-bounds", "EffectiveSan-type"}
-	if len(rows) != 23 {
-		t.Fatalf("%d rows, want 23 (19 SPEC + 4 progen)", len(rows))
+	// Every bar must be present with positive timings, on the 19 SPEC
+	// rows and the five synthetic progen rows. The bar list comes from
+	// the canonical Fig8BarNames, never hand-copied.
+	wantBars := Fig8BarNames()
+	if len(wantBars) != 12 {
+		t.Fatalf("%d bars, want 12: %v", len(wantBars), wantBars)
+	}
+	if len(rows) != 24 {
+		t.Fatalf("%d rows, want 24 (19 SPEC + 5 progen)", len(rows))
 	}
 	for _, r := range rows {
 		if len(r.Seconds) != len(wantBars) {

@@ -92,7 +92,7 @@ func buildDiamondJoin(tb *ctypes.Table) *mir.Program {
 // while the dominator-tree pass cannot (no dominating block holds the
 // fact). Detection behaviour is identical.
 func TestPathSensitiveClosesDiamondJoinGap(t *testing.T) {
-	progs, stats := instrumentAll(buildDiamondJoin, Options{Variant: Full, Naive: true})
+	progs, stats := instrumentAll(buildDiamondJoin, Options{Variant: Full, NoStaticElision: true, Naive: true})
 
 	if got, want := countChecks(progs["dataflow"]), countChecks(progs["domtree"]); got >= want {
 		t.Fatalf("dataflow left %d checks, domtree %d: want strictly fewer", got, want)
@@ -305,7 +305,7 @@ func TestElisionCFGEdgeCases(t *testing.T) {
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			progs, stats := instrumentAll(tc.build, Options{Variant: Full, Naive: true})
+			progs, stats := instrumentAll(tc.build, Options{Variant: Full, NoStaticElision: true, Naive: true})
 			for pass, fn := range tc.assert {
 				fn(t, stats[pass])
 			}
@@ -368,7 +368,7 @@ func buildDiamondChain(tb *ctypes.Table, depth int) *mir.Program {
 func TestDomTreeWalkDeepCFG(t *testing.T) {
 	const depth = 2000
 	for _, pass := range []string{"dataflow", "domtree"} {
-		opts := Options{Variant: Full, Naive: true, DomTreeElision: pass == "domtree"}
+		opts := Options{Variant: Full, NoStaticElision: true, Naive: true, DomTreeElision: pass == "domtree"}
 		ip, st := Instrument(buildDiamondChain(ctypes.NewTable(), depth), opts)
 		// Entry's type+bounds check survive; all 3*depth re-derefs lose
 		// both their checks.
@@ -407,7 +407,7 @@ func benchmarkElide(b *testing.B, depth int, opts Options) {
 func BenchmarkElideDomTreeDeep(b *testing.B) {
 	for _, depth := range []int{50, 400} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
-			benchmarkElide(b, depth, Options{Variant: Full, Naive: true, DomTreeElision: true})
+			benchmarkElide(b, depth, Options{Variant: Full, NoStaticElision: true, Naive: true, DomTreeElision: true})
 		})
 	}
 }
@@ -415,7 +415,7 @@ func BenchmarkElideDomTreeDeep(b *testing.B) {
 func BenchmarkElidePathSensitiveDeep(b *testing.B) {
 	for _, depth := range []int{50, 400} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
-			benchmarkElide(b, depth, Options{Variant: Full, Naive: true})
+			benchmarkElide(b, depth, Options{Variant: Full, NoStaticElision: true, Naive: true})
 		})
 	}
 }

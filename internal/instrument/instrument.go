@@ -19,7 +19,12 @@
 // type". Allocations get their (trivially correct) allocation bounds via
 // bounds_get rather than a type check.
 //
-// After insertion, the §5.3 elision pass (elide.go) removes redundant
+// After insertion, the static safety pass (staticsafe.go, backed by the
+// interprocedural abstract interpretation in mir/absint.go) deletes
+// checks proven to never fail on ANY execution and flags checks proven
+// to always fail as compile-time diagnostics (Stats.StaticDiags, the
+// `effsan -warn-static` surface; the knob is Options.NoStaticElision).
+// Then the §5.3 elision pass (elide.go) removes dynamically redundant
 // checks with full CFG visibility: an available-check dataflow over
 // mir.CFG elides any check whose fact is available on every incoming
 // path, with free/realloc/call acting as barriers (the dominator-tree
@@ -115,6 +120,16 @@ type Options struct {
 	// epoch and precise configurations share site IDs and check counts.
 	// Requires a runtime built with core.Options.EpochChecks.
 	EpochChecks bool
+	// NoStaticElision disables the interprocedural static safety pass
+	// (staticsafe.go): no check is deleted by abstract interpretation
+	// alone and no STATIC-UNSAFE diagnostics are produced — the
+	// "no-static" Fig. 8 ablation. The pass is also implicitly off under
+	// NoOptimize and outside the Full/BoundsOnly variants.
+	NoStaticElision bool
+	// StaticEntry names the program's entry function for the static
+	// safety analysis' call graph. Empty analyses every function under
+	// unknown arguments (sound, but blind to parameter provenance).
+	StaticEntry string
 }
 
 // Stats reports what the pass did.
@@ -160,6 +175,19 @@ type Stats struct {
 	// RecordOps is the number of check ops rewritten to record ops by the
 	// EpochChecks lowering (zero unless Options.EpochChecks).
 	RecordOps int
+	// The static safety pass counters (staticsafe.go; all zero under
+	// NoStaticElision/NoOptimize). They partition from every counter
+	// above: a STATIC-SAFE check is deleted BEFORE the dynamic
+	// elision/motion passes run, so it can never also be charged to
+	// ElidedRechecks/ElidedPathSensitive/ValueNumberedElisions, and the
+	// residual bounds-register producers swept in its wake are counted
+	// separately so ElidedStaticSafe stays "checks deleted".
+	ElidedStaticSafe     int // checks proven unable to fail, deleted
+	ElidedStaticResidual int // orphaned bounds_get/narrow/mov swept after deletion
+	StaticUnsafeSites    int // checks proven to fail whenever reached (kept)
+	// StaticDiags carries one compile-time diagnostic per STATIC-UNSAFE
+	// site, in deterministic (function, block, instruction) order.
+	StaticDiags []StaticDiag
 }
 
 // Instrument returns an instrumented deep copy of p; the input program is
@@ -174,7 +202,19 @@ func Instrument(p *mir.Program, opts Options) (*mir.Program, Stats) {
 	for _, f := range out.Funcs {
 		instrumentFunc(out, f, opts, &st)
 	}
+	// The static safety pass sits between insertion and the dynamic
+	// optimisers: it deletes checks by interprocedural proof alone, so
+	// the elision/motion passes below see fewer sites.
+	if staticElisionEnabled(opts) {
+		staticElide(out, opts, &st)
+	}
+	if !opts.NoOptimize {
+		for _, f := range out.Funcs {
+			optimizeFunc(f, opts, &st)
+		}
+	}
 	assignSiteIDs(out, opts, &st)
+	fillStaticDiagSiteIDs(out, &st)
 	if opts.EpochChecks {
 		lowerEpochRecords(out, &st)
 	}
@@ -238,13 +278,17 @@ func instrumentFunc(p *mir.Program, f *mir.Func, opts Options, st *Stats) {
 			f.Blocks[0].Instrs = append(entry, f.Blocks[0].Instrs...)
 		}
 	}
-	if !opts.NoOptimize {
-		if motionEnabled(opts) {
-			hoistChecks(f, st)
-			preInsertChecks(f, opts, st)
-		}
-		elideChecks(f, opts, st)
+}
+
+// optimizeFunc runs the dynamic-redundancy optimisers (PR-2/4/6) on one
+// function. Split from instrumentFunc so the program-level static
+// safety pass can run between insertion and optimisation.
+func optimizeFunc(f *mir.Func, opts Options, st *Stats) {
+	if motionEnabled(opts) {
+		hoistChecks(f, st)
+		preInsertChecks(f, opts, st)
 	}
+	elideChecks(f, opts, st)
 }
 
 // inputCheck builds the check instruction for an input pointer: a type

@@ -293,7 +293,7 @@ func TestSubsumedBoundsCheckElision(t *testing.T) {
 	si := b.Cast(ctypes.Int, ctypes.Long, s)
 	b.Ret(si)
 
-	_, st := Instrument(p, Options{Variant: Full})
+	_, st := Instrument(p, Options{Variant: Full, NoStaticElision: true})
 	if st.ElidedSubsume != 1 {
 		t.Fatalf("subsumed checks elided = %d, want 1", st.ElidedSubsume)
 	}
@@ -361,7 +361,9 @@ func TestUninstrumentedPassesThrough(t *testing.T) {
 	tb := ctypes.NewTable()
 	p := buildFig4(tb)
 	ip, st := Instrument(p, Options{Variant: None})
-	if st != (Stats{}) {
+	if st.TypeChecks != 0 || st.BoundsGets != 0 || st.Narrows != 0 ||
+		st.BoundsChecks != 0 || st.EscapeChecks != 0 || st.CheckSites != 0 ||
+		st.ElidedStaticSafe != 0 || len(st.StaticDiags) != 0 {
 		t.Fatalf("None variant inserted checks: %+v", st)
 	}
 	if ip.Funcs["sum"].NumInstrs() != p.Funcs["sum"].NumInstrs() {
@@ -410,7 +412,7 @@ func TestRedundantNarrowElision(t *testing.T) {
 	v := b.Load(ctypes.Long, f)
 	b.Ret(v)
 
-	_, st := Instrument(p, Options{Variant: Full})
+	_, st := Instrument(p, Options{Variant: Full, NoStaticElision: true})
 	if st.ElidedNarrows == 0 {
 		t.Fatal("duplicate narrow not elided")
 	}
@@ -455,11 +457,11 @@ func TestRedundantTypeCheckReuse(t *testing.T) {
 	s := b.Bin(mir.BinAdd, ctypes.Long, v1, v2)
 	b.Ret(b.Cast(ctypes.Int, ctypes.Long, s))
 
-	_, st := Instrument(p, Options{Variant: Full, Naive: true})
+	_, st := Instrument(p, Options{Variant: Full, NoStaticElision: true, Naive: true})
 	if st.ElidedRechecks != 1 {
 		t.Fatalf("rechecks elided = %d, want 1", st.ElidedRechecks)
 	}
-	_, stOff := Instrument(p, Options{Variant: Full, Naive: true, NoCheckReuse: true})
+	_, stOff := Instrument(p, Options{Variant: Full, NoStaticElision: true, Naive: true, NoCheckReuse: true})
 	if stOff.ElidedRechecks != 0 {
 		t.Fatal("NoCheckReuse must keep redundant type checks")
 	}
@@ -482,7 +484,7 @@ func TestTypeCheckReuseThroughMov(t *testing.T) {
 	v2 := b.Load(ctypes.Long, cp)
 	b.Ret(b.Bin(mir.BinAdd, ctypes.Long, v1, v2))
 
-	_, st := Instrument(p, Options{Variant: Full, Naive: true})
+	_, st := Instrument(p, Options{Variant: Full, NoStaticElision: true, Naive: true})
 	if st.ElidedRechecks != 1 {
 		t.Fatalf("rechecks elided through mov = %d, want 1", st.ElidedRechecks)
 	}
@@ -566,7 +568,7 @@ func TestCrossBlockElisionBeatsPerBlock(t *testing.T) {
 		}
 		return n
 	}
-	opts := Options{Variant: Full, Naive: true}
+	opts := Options{Variant: Full, NoStaticElision: true, Naive: true}
 	domTree := opts
 	domTree.DomTreeElision = true
 	perBlock := opts

@@ -82,7 +82,7 @@ func motionOnOff(build func(tb *ctypes.Table) *mir.Program, base Options) (on, o
 // iteration, and detection and results are unchanged.
 func TestHoistInvariantHeaderCheck(t *testing.T) {
 	build := func(tb *ctypes.Table) *mir.Program { return buildInvariantHeaderLoop(tb, 8) }
-	on, off, stOn, stOff := motionOnOff(build, Options{Variant: Full})
+	on, off, stOn, stOff := motionOnOff(build, Options{Variant: Full, NoStaticElision: true})
 
 	if stOn.HoistedChecks != 1 {
 		t.Errorf("HoistedChecks = %d, want 1", stOn.HoistedChecks)
@@ -126,7 +126,7 @@ func TestHoistInvariantHeaderCheck(t *testing.T) {
 // motion must never execute a check on a path that would not have.
 func TestMotionSpeculationFree(t *testing.T) {
 	build := func(tb *ctypes.Table) *mir.Program { return buildInvariantHeaderLoop(tb, 0) }
-	on, off, stOn, _ := motionOnOff(build, Options{Variant: Full})
+	on, off, stOn, _ := motionOnOff(build, Options{Variant: Full, NoStaticElision: true})
 	if stOn.HoistedChecks != 1 {
 		t.Fatalf("HoistedChecks = %d, want 1 (zero-trip is a runtime property)", stOn.HoistedChecks)
 	}
@@ -195,7 +195,7 @@ func TestHoistRefusals(t *testing.T) {
 			// The pointer advances every iteration (multi-def): nothing
 			// about its check is invariant.
 			name: "variant-pointer",
-			opts: Options{Variant: Full},
+			opts: Options{Variant: Full, NoStaticElision: true},
 			build: func(tb *ctypes.Table) *mir.Program {
 				p := mir.NewProgram(tb)
 				b := mir.NewFunc(p, "main", ctypes.Long)
@@ -228,7 +228,7 @@ func TestHoistRefusals(t *testing.T) {
 			// block dominates neither the latch nor the exit, so moving
 			// it would check on iterations that skipped the arm.
 			name: "non-dominating-arm",
-			opts: Options{Variant: Full},
+			opts: Options{Variant: Full, NoStaticElision: true},
 			build: func(tb *ctypes.Table) *mir.Program {
 				p := mir.NewProgram(tb)
 				b := mir.NewFunc(p, "main", ctypes.Long)
@@ -265,7 +265,7 @@ func TestHoistRefusals(t *testing.T) {
 			// write, is pinned with them. The no-barrier twin below
 			// hoists both.
 			name: "barrier-in-loop",
-			opts: Options{Variant: Full},
+			opts: Options{Variant: Full, NoStaticElision: true},
 			build: func(tb *ctypes.Table) *mir.Program {
 				return buildCastHeaderLoop(tb, true)
 			},
@@ -276,7 +276,7 @@ func TestHoistRefusals(t *testing.T) {
 			// hoists first, unblocking the field chain's bounds check in
 			// the same per-loop fixpoint.
 			name: "no-barrier-twin",
-			opts: Options{Variant: Full},
+			opts: Options{Variant: Full, NoStaticElision: true},
 			build: func(tb *ctypes.Table) *mir.Program {
 				return buildCastHeaderLoop(tb, false)
 			},
@@ -287,7 +287,7 @@ func TestHoistRefusals(t *testing.T) {
 			// unmoved in-loop bounds writer remains for the register the
 			// candidate uses, so the header's checks stay too.
 			name: "bounds-writer-remains",
-			opts: Options{Variant: Full, Naive: true},
+			opts: Options{Variant: Full, NoStaticElision: true, Naive: true},
 			build: func(tb *ctypes.Table) *mir.Program {
 				p := mir.NewProgram(tb)
 				b := mir.NewFunc(p, "main", ctypes.Long)
@@ -364,7 +364,7 @@ func TestHoistRefusesIrreducible(t *testing.T) {
 		b.Ret(s)
 		return p
 	}
-	on, off, stOn, stOff := motionOnOff(build, Options{Variant: Full, Naive: true})
+	on, off, stOn, stOff := motionOnOff(build, Options{Variant: Full, NoStaticElision: true, Naive: true})
 	if stOn.HoistedChecks != 0 || stOn.PREInsertions != 0 {
 		t.Errorf("motion fired on an irreducible CFG: %+v", stOn)
 	}
@@ -441,7 +441,7 @@ func TestPREInsertsOnLoopEntryEdge(t *testing.T) {
 	f := p.Funcs["f"]
 
 	var st Stats
-	opts := Options{Variant: Full}
+	opts := Options{Variant: Full, NoStaticElision: true}
 	preInsertChecks(f, opts, &st)
 	if st.PREInsertions != 1 {
 		t.Fatalf("PREInsertions = %d, want 1", st.PREInsertions)
@@ -528,7 +528,7 @@ func TestPRERefusesHotEdges(t *testing.T) {
 		f.Blocks[join].Instrs = append([]mir.Instr{check}, f.Blocks[join].Instrs...)
 
 		var st Stats
-		preInsertChecks(f, Options{Variant: Full}, &st)
+		preInsertChecks(f, Options{Variant: Full, NoStaticElision: true}, &st)
 		if st.PREInsertions != 0 {
 			t.Errorf("PRE fired on a non-header join: %d insertions", st.PREInsertions)
 		}
@@ -538,7 +538,7 @@ func TestPRERefusesHotEdges(t *testing.T) {
 		p, _ := preSkeleton(ctypes.NewTable(), true, true)
 		f := p.Funcs["f"]
 		var st Stats
-		preInsertChecks(f, Options{Variant: Full}, &st)
+		preInsertChecks(f, Options{Variant: Full, NoStaticElision: true}, &st)
 		if st.PREInsertions != 0 {
 			t.Errorf("PRE inserted on a back edge: %d insertions", st.PREInsertions)
 		}
@@ -594,7 +594,7 @@ func buildTempRecompute(tb *ctypes.Table) *mir.Program {
 // ValueNumberedElisions only. Register-keyed elision (the no-motion
 // ablation) keeps all four. Detection and results agree.
 func TestValueNumberedElision(t *testing.T) {
-	on, off, stOn, stOff := motionOnOff(buildTempRecompute, Options{Variant: Full})
+	on, off, stOn, stOff := motionOnOff(buildTempRecompute, Options{Variant: Full, NoStaticElision: true})
 
 	if stOn.ValueNumberedElisions != 3 {
 		t.Errorf("ValueNumberedElisions = %d, want 3 (arm, arm, join)", stOn.ValueNumberedElisions)
@@ -638,7 +638,7 @@ func TestValueNumberedElision(t *testing.T) {
 // ElidedPathSensitive, and under every motion-off ablation all three
 // motion counters stay zero.
 func TestMotionStatPartition(t *testing.T) {
-	_, stVN := Instrument(buildTempRecompute(ctypes.NewTable()), Options{Variant: Full})
+	_, stVN := Instrument(buildTempRecompute(ctypes.NewTable()), Options{Variant: Full, NoStaticElision: true})
 	if stVN.ValueNumberedElisions != 3 || stVN.ElidedRechecks != 0 {
 		t.Errorf("VN elisions leaked into ElidedRechecks: %+v", stVN)
 	}
@@ -652,7 +652,7 @@ func TestMotionStatPartition(t *testing.T) {
 		"domtree":  func(o *Options) { o.DomTreeElision = true },
 		"noopt":    func(o *Options) { o.NoOptimize = true },
 	} {
-		opts := Options{Variant: Full}
+		opts := Options{Variant: Full, NoStaticElision: true}
 		mod(&opts)
 		for _, build := range []func(tb *ctypes.Table) *mir.Program{
 			buildTempRecompute,

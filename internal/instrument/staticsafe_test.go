@@ -1,0 +1,205 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/ctypes"
+	"repro/internal/mir"
+)
+
+func compileStatic(t *testing.T, src string) *mir.Program {
+	t.Helper()
+	p, err := cc.Compile(src, ctypes.NewTable())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// countProgOps returns the number of instructions with the given op across
+// the whole program.
+func countProgOps(p *mir.Program, ops ...mir.Op) int {
+	want := map[mir.Op]bool{}
+	for _, o := range ops {
+		want[o] = true
+	}
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if want[b.Instrs[i].Op] {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestStaticElideGlobalWalk: a provably-bounded interprocedural walk
+// over a constant-extent global — every check in the helper is
+// STATIC-SAFE and the pass must delete them all, bounds checks and the
+// type checks that fed them alike.
+func TestStaticElideGlobalWalk(t *testing.T) {
+	src := `
+long tab[16];
+
+long walk(long *p, int n) {
+    long acc = 0;
+    for (int i = 0; i < n; i++) {
+        p[i] = p[i] + 1;
+        acc += p[i];
+    }
+    return acc;
+}
+
+int main() {
+    long acc = 0;
+    acc += walk(tab, 16);
+    return (int)acc;
+}
+`
+	prog := compileStatic(t, src)
+	out, st := Instrument(prog, Options{Variant: Full, StaticEntry: "main"})
+	if st.ElidedStaticSafe == 0 {
+		t.Fatalf("nothing statically elided: %+v", st)
+	}
+	if st.StaticUnsafeSites != 0 {
+		t.Fatalf("clean program flagged UNSAFE: %+v", st.StaticDiags)
+	}
+	// The helper's loop must be check-free: its bounds checks are
+	// provably in-bounds and, once they are gone, nothing consumes the
+	// entry type check's bounds fact either.
+	w := out.Funcs["walk"]
+	if w == nil {
+		t.Fatal("walk missing from instrumented program")
+	}
+	for _, b := range w.Blocks {
+		for i := range b.Instrs {
+			switch b.Instrs[i].Op {
+			case mir.OpBoundsCheck, mir.OpEscapeCheck, mir.OpTypeCheck:
+				t.Errorf("walk still contains %v at %q", b.Instrs[i].Op, b.Instrs[i].Site)
+			}
+		}
+	}
+
+	// The ablation keeps them.
+	outOff, stOff := Instrument(prog, Options{Variant: Full, StaticEntry: "main", NoStaticElision: true})
+	if stOff.ElidedStaticSafe != 0 || stOff.ElidedStaticResidual != 0 {
+		t.Fatalf("NoStaticElision still charged static counters: %+v", stOff)
+	}
+	on := countProgOps(out, mir.OpTypeCheck, mir.OpBoundsCheck, mir.OpEscapeCheck)
+	off := countProgOps(outOff, mir.OpTypeCheck, mir.OpBoundsCheck, mir.OpEscapeCheck)
+	if on >= off {
+		t.Errorf("surviving checks: static %d >= no-static %d", on, off)
+	}
+}
+
+// TestStaticUnsafeDiagnostic: a constant access provably beyond a
+// global's extent is classified STATIC-UNSAFE — the check is KEPT (the
+// runtime report must stay byte-identical) and surfaced through
+// Stats.StaticDiags with a populated reason.
+func TestStaticUnsafeDiagnostic(t *testing.T) {
+	src := `
+long gtab[8];
+
+int main() {
+    gtab[9] = 1;
+    return (int)gtab[9];
+}
+`
+	prog := compileStatic(t, src)
+	out, st := Instrument(prog, Options{Variant: Full, StaticEntry: "main"})
+	if st.StaticUnsafeSites == 0 {
+		t.Fatalf("out-of-bounds constant access not flagged: %+v", st)
+	}
+	if len(st.StaticDiags) != st.StaticUnsafeSites {
+		t.Fatalf("%d diags for %d UNSAFE sites", len(st.StaticDiags), st.StaticUnsafeSites)
+	}
+	for _, d := range st.StaticDiags {
+		if d.Func == "" || d.Kind == "" || d.Reason == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if !strings.Contains(d.Reason, "gtab") && d.Kind != "escape" {
+			t.Errorf("reason does not name the allocation: %+v", d)
+		}
+	}
+	// Detection is untouched: the UNSAFE checks survive in the output.
+	if n := countProgOps(out, mir.OpBoundsCheck); n == 0 {
+		t.Error("UNSAFE bounds checks were deleted; they must be kept")
+	}
+}
+
+// TestStaticElideFreedIsUnknown: provenance that reaches free() is
+// mortal — identical accesses through a freed-at-some-point allocation
+// must stay UNKNOWN (deleting them would lose use-after-free
+// detection; the flow-insensitive temporal discipline refuses).
+func TestStaticElideFreedIsUnknown(t *testing.T) {
+	src := `
+long use(long *p, int n) {
+    long acc = 0;
+    for (int i = 0; i < n; i++) { acc += p[i]; }
+    return acc;
+}
+
+int main() {
+    long *h = malloc(4 * sizeof(long));
+    h[0] = 1;
+    long acc = use(h, 4);
+    free(h);
+    return (int)acc;
+}
+`
+	prog := compileStatic(t, src)
+	_, st := Instrument(prog, Options{Variant: Full, StaticEntry: "main"})
+	if st.ElidedStaticSafe != 0 {
+		t.Fatalf("deleted %d checks on a freed allocation: %+v", st.ElidedStaticSafe, st)
+	}
+	if st.StaticUnsafeSites != 0 {
+		t.Fatalf("clean program flagged UNSAFE: %+v", st.StaticDiags)
+	}
+}
+
+// TestStaticElideKeepsNeededTypeCheck: a SAFE type check whose bounds
+// fact feeds a KEPT (unprovable) bounds check must survive — deleting
+// it would leave the downstream check reading a stale register.
+func TestStaticElideKeepsNeededTypeCheck(t *testing.T) {
+	src := `
+long tab[4];
+
+long pick(long *p, int i) {
+    return p[i];
+}
+
+int main() {
+    return (int)pick(tab, 2);
+}
+`
+	prog := compileStatic(t, src)
+	// pick's index is ⊤ from main's constant only on the first pass —
+	// context-insensitively it is [2,2], so make it genuinely unknown:
+	// analyse with no roots, giving pick ⊤ parameters.
+	out, st := Instrument(prog, Options{Variant: Full})
+	_ = st
+	pick := out.Funcs["pick"]
+	if pick == nil {
+		t.Fatal("pick missing")
+	}
+	nBounds := 0
+	nType := 0
+	for _, b := range pick.Blocks {
+		for i := range b.Instrs {
+			switch b.Instrs[i].Op {
+			case mir.OpBoundsCheck:
+				nBounds++
+			case mir.OpTypeCheck:
+				nType++
+			}
+		}
+	}
+	if nBounds > 0 && nType == 0 {
+		t.Errorf("bounds check kept (%d) but its producing type check deleted", nBounds)
+	}
+}

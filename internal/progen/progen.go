@@ -70,6 +70,18 @@ type Options struct {
 	// workload; the workload under the differential-fuzz oracle
 	// (internal/difftest).
 	LibCalls bool
+	// StaticSafe emits the statically-provable workload: constant-extent
+	// global and local arrays walked by loops whose bounds the
+	// interprocedural abstract interpretation (internal/mir.AnalyzeSafety)
+	// proves — `for (i = 0; i < N; i++)` over `T tab[N]` — plus a
+	// monomorphic downcast helper re-deriving the allocation's own type
+	// at offset 0 and a char-coercion byte walk. Every check in these
+	// helpers is provably in-bounds by STATIC reasoning alone: no
+	// dominating dynamic check covers them (the arrays are globals and
+	// locals, each helper sees the pointer fresh), so the PR-2/4/6
+	// dynamic passes cannot remove them — only the static safety pass
+	// can. Backs the Fig. 8 no-static row.
+	StaticSafe bool
 	// LibFaults additionally emits CONTAINED library-call faults:
 	// overlapping memcpy, strcpy overflowing an array field into its
 	// sibling within one struct, free of an interior pointer, strlen
@@ -147,6 +159,9 @@ func Generate(seed int64, opts Options) string {
 	if opts.LibCalls {
 		g.emitLibCalls()
 	}
+	if opts.StaticSafe {
+		g.emitStaticSafe()
+	}
 	if opts.LibFaults {
 		g.emitLibFaults()
 	}
@@ -158,6 +173,9 @@ type gen struct {
 	r     *rand.Rand
 	sb    strings.Builder
 	types []genType
+	// StaticSafe extents, drawn at emit time so the declarations and the
+	// main-side call constants agree.
+	statTabN, statRecN, statLocN int
 }
 
 func (g *gen) pf(format string, args ...any) {
@@ -505,6 +523,84 @@ long lib_sort(long *v, int n) {
 `, 1+g.r.Intn(9), 3+g.r.Intn(11), 15+8*g.r.Intn(4))
 }
 
+// emitStaticSafe emits the statically-provable helpers over
+// constant-extent allocations (see Options.StaticSafe). The backing
+// stores are a global long array, a global struct array and a local
+// array — never freed, never leaked — so the abstract interpreter's
+// provenance survives to every check site:
+//
+//   - stat_walk / stat_tick walk a caller-supplied array with a
+//     `for (i = 0; i < n; i++)` loop whose bound arrives
+//     interprocedurally as a constant: branch refinement pins i below
+//     the extent, so every bounds check is STATIC-SAFE;
+//   - stat_cast re-derives the allocation's own element type from a
+//     long* at offset 0 every iteration — the monomorphic downcast
+//     whose type check resolves to whole-allocation bounds
+//     memo-independently (the exact-match fast path);
+//   - stat_bytes walks the bytes through a char*, the coercion the
+//     runtime accepts at any in-bounds offset;
+//   - stat_local proves a frame-local array: the alloca never escapes,
+//     so its extent is exact.
+//
+// Each helper sees its pointer as a fresh parameter (Wide bounds at
+// entry), so no dominating dynamic check exists for the elision/motion
+// passes to reuse — these sites fall to static reasoning or nobody.
+func (g *gen) emitStaticSafe() {
+	g.statTabN = 8 + g.r.Intn(9) // long stat_tab[8..16]
+	g.statRecN = 2 + g.r.Intn(5) // struct GenStat gstat[2..6]
+	g.statLocN = 3 + g.r.Intn(4) // long buf[3..6]
+	g.pf("long stat_tab[%d];\n\n", g.statTabN)
+	g.pf("struct GenStat { long hits; long miss; };\n\n")
+	g.pf("struct GenStat gstat[%d];\n\n", g.statRecN)
+	g.pf(`long stat_walk(long *p, int n) {
+    long acc = 0;
+    for (int i = 0; i < n; i++) {
+        p[i] = p[i] + (long)i;
+        acc += p[i];
+    }
+    return acc;
+}
+
+long stat_tick(struct GenStat *s, int n) {
+    long acc = 0;
+    for (int i = 0; i < n; i++) {
+        s[i].hits = s[i].hits + 1;
+        s[i].miss = s[i].miss + 2;
+        acc += s[i].hits + s[i].miss;
+    }
+    return acc;
+}
+
+long stat_cast(long *p, int n) {
+    long acc = 0;
+    int i = 0;
+    while (i < n) {
+        struct GenStat *t = (struct GenStat *)p;
+        t->hits = t->hits + (long)i;
+        acc += t->hits + t->miss;
+        i = i + 1;
+    }
+    return acc;
+}
+
+long stat_bytes(char *c, int n) {
+    long acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc += (long)c[i];
+    }
+    return acc;
+}
+
+`)
+	g.pf("long stat_local() {\n")
+	g.pf("    long buf[%d];\n", g.statLocN)
+	g.pf("    long acc = 0;\n")
+	g.pf("    for (int i = 0; i < %d; i++) { buf[i] = (long)(i * %d); }\n",
+		g.statLocN, 1+g.r.Intn(7))
+	g.pf("    for (int i = 0; i < %d; i++) { acc += buf[i]; }\n", g.statLocN)
+	g.pf("    return acc;\n}\n\n")
+}
+
 // emitLibFaults emits the contained library-fault helpers (see
 // Options.LibFaults for the determinism contract each relies on):
 //
@@ -658,6 +754,17 @@ func (g *gen) emitMain(opts Options) {
 		g.pf("        acc += lib_mem(la, lb, %d);\n", ln)
 		g.pf("        acc += lib_str(lsrc, ldst, %d);\n", sn)
 		g.pf("        acc += lib_sort(lv, %d);\n", ln)
+		g.pf("    }\n")
+	}
+	if opts.StaticSafe {
+		// Globals and frame locals back every helper: nothing to malloc,
+		// nothing to free, nothing for the provenance analysis to lose.
+		g.pf("    for (int r = 0; r < %d; r++) {\n", opts.Rounds)
+		g.pf("        acc += stat_walk(stat_tab, %d);\n", g.statTabN)
+		g.pf("        acc += stat_tick(gstat, %d);\n", g.statRecN)
+		g.pf("        acc += stat_cast((long *)gstat, %d);\n", 3+g.r.Intn(6))
+		g.pf("        acc += stat_bytes((char *)stat_tab, %d);\n", 8*g.statTabN)
+		g.pf("        acc += stat_local();\n")
 		g.pf("    }\n")
 	}
 	if opts.LibFaults {

@@ -120,6 +120,8 @@ func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, o
 			NoCheckMotion:       t.NoCheckMotion,
 			NoIntrinsics:        t.NoIntrinsics,
 			EpochChecks:         t.EpochChecks,
+			NoStaticElision:     t.NoStaticElision,
+			StaticEntry:         entry,
 		})
 		rt = core.NewRuntime(core.Options{
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,

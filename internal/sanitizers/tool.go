@@ -56,6 +56,11 @@ type Tool struct {
 	// bounds/overlap/NUL-scan introspection (the library-boundary
 	// ablation) — instrument.Options.NoIntrinsics.
 	NoIntrinsics bool
+	// NoStaticElision disables the interprocedural static safety
+	// analysis, so no check is deleted by compile-time proof alone (the
+	// "no-static" Fig. 8 ablation) —
+	// instrument.Options.NoStaticElision.
+	NoStaticElision bool
 	// EpochChecks selects the evidence-based epoch checking mode
 	// (DoubleTake-style): check ops are lowered to record ops that append
 	// evidence to a per-worker log, and a batch validator replays the log
@@ -158,6 +163,17 @@ func (t *Tool) WithoutMagazines() *Tool {
 func (t *Tool) WithoutIntrinsics() *Tool {
 	cp := *t
 	cp.NoIntrinsics = true
+	return &cp
+}
+
+// WithoutStaticElision returns a copy of the tool with the
+// interprocedural static safety pass disabled: every check a
+// compile-time proof would have deleted stays in the program (the
+// "no-static" Fig. 8 ablation, and the difftest matrix's witness that
+// the pass never changes detection).
+func (t *Tool) WithoutStaticElision() *Tool {
+	cp := *t
+	cp.NoStaticElision = true
 	return &cp
 }
 
@@ -276,6 +292,8 @@ func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint
 			NoCheckMotion:       t.NoCheckMotion,
 			NoIntrinsics:        t.NoIntrinsics,
 			EpochChecks:         t.EpochChecks,
+			NoStaticElision:     t.NoStaticElision,
+			StaticEntry:         entry,
 		})
 		res.InstrStats = ist
 		rt := core.NewRuntime(core.Options{

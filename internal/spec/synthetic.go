@@ -25,7 +25,13 @@ import "repro/internal/progen"
 //   - progen-temp: one pointer value recomputed into fresh temporaries
 //     before a branch, on its arms and at the join — register-keyed
 //     elision re-checks each temporary, value-numbered provenance
-//     collapses them (again separated by the "no-motion" bar).
+//     collapses them (again separated by the "no-motion" bar);
+//   - progen-staticsafe: constant-extent globals and locals walked by
+//     provably-bounded loops and monomorphic downcasts — every check
+//     is in-bounds by static reasoning alone and covered by no
+//     dominating dynamic check, so only the interprocedural abstract
+//     interpretation removes them (the "no-static" Fig. 8 bar keeps
+//     them, pricing the static safety pass).
 func Synthetic() []*Benchmark {
 	return []*Benchmark{
 		{
@@ -58,6 +64,13 @@ func Synthetic() []*Benchmark {
 			Name: "progen-temp",
 			Source: progen.Generate(59, progen.Options{
 				Types: 1, Funcs: 1, Rounds: 48, TempHeavy: true,
+			}),
+			Entry: "main",
+		},
+		{
+			Name: "progen-staticsafe",
+			Source: progen.Generate(67, progen.Options{
+				Types: 1, Funcs: 1, Rounds: 48, StaticSafe: true,
 			}),
 			Entry: "main",
 		},
