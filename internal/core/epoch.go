@@ -346,7 +346,7 @@ func (r *Runtime) reportBoundsSnapshot(e *evEvent, static string) {
 		dyn = t.String()
 		off = int64(e.p) - int64(e.objBase)
 		if t != ctypes.Free && t.IsComplete() && t.Size() > 0 {
-			off = r.layouts.For(t).Normalize(off)
+			off = r.layoutFor(t).Normalize(off)
 		}
 	}
 	r.Reporter.Report(BoundsError, static, dyn, off, e.site)

@@ -36,7 +36,7 @@ func (r *Runtime) Describe(p uint64) string {
 	fmt.Fprintf(&sb, "%#x: object of dynamic type (%s[%d]), %d bytes at %#x\n",
 		p, t, n, size, objBase)
 	k := int64(p - objBase)
-	tl := r.layouts.For(t)
+	tl := r.layoutFor(t)
 	norm := tl.Normalize(k)
 	fmt.Fprintf(&sb, "  offset %d (element offset %d):\n", k, norm)
 	subs := layout.Of(t, norm)

@@ -56,6 +56,12 @@ type Options struct {
 	// Small caps force epochs mid-loop, which tests use to pin the
 	// boundary-independence of detection.
 	EpochCap int
+	// LayoutCacheCap bounds the number of layout tables the runtime keeps
+	// resident (clock eviction; see layout.NewBounded). Zero means
+	// unbounded — the historical behaviour. Evicted tables rebuild on
+	// demand, so detection is unaffected at any cap; only
+	// LayoutTablesBuilt/Evicted and the resident-bytes gauge move.
+	LayoutCacheCap int
 }
 
 // Runtime is the EffectiveSan runtime system: a low-fat allocator whose
@@ -126,7 +132,7 @@ func NewRuntime(opts Options) *Runtime {
 		mem:      m,
 		heap:     heap,
 		alloc:    heap,
-		layouts:  layout.NewCache(),
+		layouts:  layout.NewBounded(opts.LayoutCacheCap),
 		memo:     newCheckCache(opts.CheckCacheSize),
 		inline:   newInlineCache(opts.NoInlineCache),
 		Reporter: NewReporter(opts.Mode, opts.AbortAfter),
@@ -200,6 +206,27 @@ func (r *Runtime) Types() *ctypes.Table { return r.types }
 // Layouts returns the layout hash table cache (exposed for the ablation
 // benchmarks).
 func (r *Runtime) Layouts() *layout.Cache { return r.layouts }
+
+// layoutFor returns the layout table for t through the bounded cache,
+// folding the cache's build/intern/evict/footprint event into the view's
+// Stats sink. Every runtime-side table access goes through here so the
+// footprint counters stay exact under sharded per-worker views.
+func (r *Runtime) layoutFor(t *ctypes.Type) *layout.TypeLayout {
+	tl, ev := r.layouts.ForStats(t)
+	if ev.Built {
+		r.stats.LayoutTablesBuilt.Add(1)
+		if ev.Interned {
+			r.stats.LayoutTablesInterned.Add(1)
+		}
+	}
+	if ev.Evicted > 0 {
+		r.stats.LayoutTablesEvicted.Add(uint64(ev.Evicted))
+	}
+	if ev.BytesDelta != 0 {
+		r.stats.LayoutBytesResident.Add(uint64(ev.BytesDelta))
+	}
+	return tl
+}
 
 // typeID interns t in the metadata type registry.
 func (r *Runtime) typeID(t *ctypes.Type) uint64 {
@@ -469,7 +496,7 @@ func (r *Runtime) typeCheckResolve(p uint64, s *ctypes.Type, siteID int64,
 	}
 	k := int64(p - objBase)
 	alloc := Bounds{objBase, objBase + size}
-	tl := r.layouts.For(t)
+	tl := r.layoutFor(t)
 	kn := tl.Normalize(k)
 	var (
 		e       layout.Entry
@@ -656,7 +683,7 @@ func (r *Runtime) reportBounds(p uint64, static, site string) {
 		dyn = t.String()
 		off = int64(p) - int64(objBase)
 		if t != ctypes.Free && t.IsComplete() && t.Size() > 0 {
-			off = r.layouts.For(t).Normalize(off)
+			off = r.layoutFor(t).Normalize(off)
 		}
 	}
 	r.Reporter.Report(BoundsError, static, dyn, off, site)

@@ -36,6 +36,21 @@ type Stats struct {
 	CheckCacheMisses  atomic.Uint64
 	LayoutMatches     atomic.Uint64
 
+	// Layout-metadata footprint counters (the bounded layout cache,
+	// docs/ARCHITECTURE.md "Layout metadata"). LayoutTablesBuilt counts
+	// table constructions (cache misses, including rebuilds after
+	// eviction); LayoutTablesInterned counts the built tables whose
+	// structural core matched the intern pool; LayoutTablesEvicted
+	// counts cached identities evicted under Options.LayoutCacheCap.
+	// LayoutBytesResident is a signed-delta gauge, not a monotone
+	// counter: every build/evict event adds its two's-complement byte
+	// delta, so per-worker views still sum to the true net under
+	// Merge/Add/Sub — read it via StatsSnapshot.LayoutResidentBytes.
+	LayoutTablesBuilt    atomic.Uint64
+	LayoutTablesInterned atomic.Uint64
+	LayoutTablesEvicted  atomic.Uint64
+	LayoutBytesResident  atomic.Uint64
+
 	HeapAllocs   atomic.Uint64
 	StackAllocs  atomic.Uint64
 	GlobalAllocs atomic.Uint64
@@ -78,6 +93,11 @@ type StatsSnapshot struct {
 	CheckCacheMisses  uint64
 	LayoutMatches     uint64
 
+	LayoutTablesBuilt    uint64
+	LayoutTablesInterned uint64
+	LayoutTablesEvicted  uint64
+	LayoutBytesResident  uint64
+
 	HeapAllocs   uint64
 	StackAllocs  uint64
 	GlobalAllocs uint64
@@ -103,6 +123,8 @@ func (s *Stats) counters() []*atomic.Uint64 {
 		&s.CharCoercions, &s.VoidPtrCoercions,
 		&s.CheckFastPath, &s.InlineCacheHits, &s.InlineCacheMisses,
 		&s.CheckCacheHits, &s.CheckCacheMisses, &s.LayoutMatches,
+		&s.LayoutTablesBuilt, &s.LayoutTablesInterned,
+		&s.LayoutTablesEvicted, &s.LayoutBytesResident,
 		&s.HeapAllocs, &s.StackAllocs, &s.GlobalAllocs,
 		&s.Frees, &s.LegacyFrees,
 		&s.EvidenceRecords, &s.EpochValidations, &s.EpochSweeps,
@@ -119,6 +141,8 @@ func (v *StatsSnapshot) fields() []*uint64 {
 		&v.CharCoercions, &v.VoidPtrCoercions,
 		&v.CheckFastPath, &v.InlineCacheHits, &v.InlineCacheMisses,
 		&v.CheckCacheHits, &v.CheckCacheMisses, &v.LayoutMatches,
+		&v.LayoutTablesBuilt, &v.LayoutTablesInterned,
+		&v.LayoutTablesEvicted, &v.LayoutBytesResident,
 		&v.HeapAllocs, &v.StackAllocs, &v.GlobalAllocs,
 		&v.Frees, &v.LegacyFrees,
 		&v.EvidenceRecords, &v.EpochValidations, &v.EpochSweeps,
@@ -203,6 +227,23 @@ func (s StatsSnapshot) InlineCacheHitRate() float64 {
 		return 0
 	}
 	return float64(s.InlineCacheHits) / float64(total)
+}
+
+// LayoutResidentBytes returns the net modelled resident footprint of
+// layout metadata as a signed quantity (LayoutBytesResident accumulates
+// two's-complement deltas).
+func (s StatsSnapshot) LayoutResidentBytes() int64 {
+	return int64(s.LayoutBytesResident)
+}
+
+// LayoutInternRate returns the fraction of built layout tables whose
+// structural core was shared from the intern pool, or 0 when no tables
+// were built.
+func (s StatsSnapshot) LayoutInternRate() float64 {
+	if s.LayoutTablesBuilt == 0 {
+		return 0
+	}
+	return float64(s.LayoutTablesInterned) / float64(s.LayoutTablesBuilt)
 }
 
 // LegacyRatio returns the fraction of type checks performed on legacy

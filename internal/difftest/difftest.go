@@ -86,6 +86,14 @@ func Matrix() []Config {
 		// anything a deleted check would have reported is a
 		// disagreement, i.e. an unsound verdict.
 		{Name: "no-static", Tool: full.WithoutStaticElision()},
+		// The bounded-layout-cache cell: a 64-identity cap forces
+		// eviction and on-demand rebuild of layout tables on any program
+		// with more live types than slots. Tables are pure functions of
+		// the type, so every rebuilt table must answer every check
+		// exactly as the oracle's never-evicted one — any divergence
+		// (stale intern sharing, a rebuild racing a lookup) surfaces as
+		// a value or signature disagreement here.
+		{Name: "layoutcap-64", Tool: full.WithLayoutCacheCap(64)},
 		{Name: "sharded-2", Tool: full, Threads: 2},
 		{Name: "sharded-4", Tool: full, Threads: 4},
 		{Name: "sharded-8", Tool: full, Threads: 8},
@@ -208,6 +216,13 @@ func Check(prog *mir.Program) (*Mismatch, error) {
 // provably-bounded walks the static safety analysis deletes checks
 // from, so the no-static cell gets inputs where the two sides actually
 // differ in instruction count.
+//
+// An optional eleventh byte scales the TypeExplosion population in
+// steps of 24 shapes (bits 0-2, so up to 168): the layoutcap-64 cell
+// only evicts and rebuilds when the program's type population exceeds
+// its cache, so these inputs are where bounded eviction actually runs
+// under the oracle's eye. Ten-byte (and nine-byte) corpus entries
+// still decode, with the population at zero.
 const inputLen = 9
 
 // DecodeInput parses a fuzz input. ok is false for short inputs (the
@@ -233,13 +248,16 @@ func DecodeInput(data []byte) (seed int64, opts progen.Options, ok bool) {
 	if len(data) > inputLen && data[inputLen]&1 != 0 {
 		opts.StaticSafe = true
 	}
+	if len(data) > inputLen+1 {
+		opts.TypeExplosion = 24 * int(data[inputLen+1]&7)
+	}
 	return seed, opts, true
 }
 
 // EncodeInput is the inverse of DecodeInput (for seeding the corpus and
 // writing reproducers).
 func EncodeInput(seed int64, opts progen.Options) []byte {
-	data := make([]byte, inputLen+1)
+	data := make([]byte, inputLen+2)
 	binary.LittleEndian.PutUint64(data[:8], uint64(seed))
 	var b byte
 	if opts.LibFaults {
@@ -271,6 +289,13 @@ func EncodeInput(seed int64, opts progen.Options) []byte {
 	data[8] = b
 	if opts.StaticSafe {
 		data[9] |= 1
+	}
+	x := opts.TypeExplosion / 24
+	if x > 7 {
+		x = 7
+	}
+	if x > 0 {
+		data[10] = byte(x)
 	}
 	return data
 }
@@ -305,6 +330,9 @@ func Fails(seed int64, opts progen.Options) bool {
 // failing configuration for the same seed.
 func Shrink(seed int64, opts progen.Options) progen.Options {
 	reductions := []func(*progen.Options){
+		// TypeExplosion first: it dominates program size, so dropping it
+		// early makes every later Fails probe cheap.
+		func(o *progen.Options) { o.TypeExplosion = 0 },
 		func(o *progen.Options) { o.StaticSafe = false },
 		func(o *progen.Options) { o.AllocHeavy = false },
 		func(o *progen.Options) { o.LoopHeavy = false },
@@ -340,7 +368,7 @@ func WriteReproducer(dir string, seed int64, opts progen.Options) (string, error
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, fmt.Sprintf("shrunk-seed%d-opts%02x%02x", seed, data[8], data[9]))
+	path := filepath.Join(dir, fmt.Sprintf("shrunk-seed%d-opts%02x%02x%02x", seed, data[8], data[9], data[10]))
 	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		return "", err
 	}

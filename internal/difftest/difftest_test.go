@@ -44,6 +44,13 @@ func TestDifferentialOracle(t *testing.T) {
 				input := EncodeInput(seed, progen.Options{})
 				input[8] = byte(i)     // sweep the whole option byte
 				input[9] = byte(i & 1) // StaticSafe on half the programs
+				if i%16 == 7 {
+					// A 72-shape type explosion on a slice of the sweep:
+					// enough types to overflow the layoutcap-64 cell, so
+					// eviction and rebuild run against the oracle without
+					// slowing the other 15/16ths of the loop.
+					input[10] = 3
+				}
 				seed, opts, ok := DecodeInput(input)
 				if !ok {
 					t.Fatalf("i=%d: encode/decode broken", i)
@@ -186,6 +193,22 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if _, _, ok := DecodeInput([]byte{1, 2, 3}); ok {
 		t.Fatal("short input accepted")
 	}
+	// The eleventh (layout) byte: the TypeExplosion population encodes
+	// in steps of 24, and both legacy widths — 9-byte and 10-byte
+	// pre-extension corpus entries — decode with it at zero.
+	in = EncodeInput(99, progen.Options{TypeExplosion: 48})
+	if in[10] != 2 {
+		t.Fatalf("TypeExplosion 48 encoded to %#02x, want 2", in[10])
+	}
+	if _, opts, ok := DecodeInput(in); !ok || opts.TypeExplosion != 48 {
+		t.Fatalf("TypeExplosion lost in decode: %+v", opts)
+	}
+	for _, legacy := range [][]byte{in[:9], in[:10]} {
+		if _, opts, ok := DecodeInput(legacy); !ok || opts.TypeExplosion != 0 {
+			t.Fatalf("%d-byte legacy input decoded TypeExplosion %d, want 0",
+				len(legacy), opts.TypeExplosion)
+		}
+	}
 }
 
 // TestShrinkReachesFixpoint: on a predicate that fails regardless of
@@ -203,7 +226,7 @@ func TestShrinkReachesFixpoint(t *testing.T) {
 	_, maximal, _ := DecodeInput(EncodeInput(3, progen.Options{
 		LibFaults: true, Diamonds: 1, Interior: true,
 		TempHeavy: true, LoopHeavy: true, AllocHeavy: true,
-		StaticSafe: true, Rounds: 4,
+		StaticSafe: true, TypeExplosion: 24, Rounds: 4,
 	}))
 	reduced := maximal
 	reduced.LibFaults = false
@@ -213,9 +236,11 @@ func TestShrinkReachesFixpoint(t *testing.T) {
 	reduced.LoopHeavy = false
 	reduced.AllocHeavy = false
 	reduced.StaticSafe = false
+	reduced.TypeExplosion = 0
 	reduced.Rounds = 1
-	if got := EncodeInput(3, reduced); got[8] != 0 || got[9] != 0 {
-		t.Fatalf("fully reduced options encode to %#02x %#02x, want 0 0", got[8], got[9])
+	if got := EncodeInput(3, reduced); got[8] != 0 || got[9] != 0 || got[10] != 0 {
+		t.Fatalf("fully reduced options encode to %#02x %#02x %#02x, want 0 0 0",
+			got[8], got[9], got[10])
 	}
 }
 
@@ -246,6 +271,11 @@ func FuzzDifferentialConfigs(f *testing.F) {
 	// checks sit next to ones that must still fire.
 	f.Add(EncodeInput(7, progen.Options{LibCalls: true, StaticSafe: true, Rounds: 2}))
 	f.Add(EncodeInput(8, progen.Options{LibCalls: true, LibFaults: true, TempHeavy: true, StaticSafe: true, Rounds: 3}))
+	// Layout-cache stressor: a 96-shape type explosion overflows the
+	// layoutcap-64 cell's cache every round while faulting libc traffic
+	// runs alongside, so evicted-and-rebuilt tables must reproduce the
+	// oracle's reports, not just its value.
+	f.Add(EncodeInput(9, progen.Options{LibCalls: true, LibFaults: true, TypeExplosion: 96, Rounds: 2}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seed, opts, ok := DecodeInput(data)
 		if !ok {

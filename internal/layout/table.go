@@ -2,7 +2,6 @@ package layout
 
 import (
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/ctypes"
@@ -61,9 +60,15 @@ type entKey struct {
 //	(S, k) -> relative sub-object bounds
 //
 // for every static type S and normalised offset k with a matching
-// sub-object (§5). Lookups are O(1); the paper's tie-breaking rules
-// (prefer wider bounds; prefer non-end matches) are applied once, at
-// construction time.
+// sub-object (§5). The paper's tie-breaking rules (prefer wider bounds;
+// prefer non-end matches) are applied once, at construction time.
+//
+// A TypeLayout is a thin per-identity wrapper over an immutable, possibly
+// shared tableCore (see intern.go): the core stores the entry relation
+// keyed by structural key ids with the element type abstracted to a self
+// sentinel, and the wrapper translates its own Elem back to that sentinel
+// at query time. Layout-isomorphic types thus share one core while
+// queries remain keyed by real type identity.
 type TypeLayout struct {
 	Elem *ctypes.Type
 	// ElemSize is the layout size of one element: sizeof(T), or the
@@ -73,12 +78,15 @@ type TypeLayout struct {
 	FAMOffset   int64
 	FAMElemSize int64
 
-	entries map[entKey]Entry
+	core *tableCore
+	// hot is the clock-eviction reference bit, set lock-free on every
+	// cache hit and cleared by the evictor's clock hand sweep.
+	hot atomic.Uint32
 }
 
 // NumEntries returns the number of hash table entries (for tests and the
 // ablation benchmarks).
-func (tl *TypeLayout) NumEntries() int { return len(tl.entries) }
+func (tl *TypeLayout) NumEntries() int { return tl.core.numEntries() }
 
 // Normalize maps an arbitrary byte offset into the table's domain
 // [0, ElemSize): ordinary types wrap modulo the element size (the dynamic
@@ -98,11 +106,20 @@ func (tl *TypeLayout) Normalize(k int64) int64 {
 	return ((k % tl.ElemSize) + tl.ElemSize) % tl.ElemSize
 }
 
+// idFor translates a query key to the shared core's key space: the
+// wrapper's own element type becomes the self sentinel, every other type
+// its registry id.
+func (tl *TypeLayout) idFor(key *ctypes.Type) uint64 {
+	if key == tl.Elem {
+		return selfKeyID
+	}
+	return keyIDOf(key)
+}
+
 // Lookup returns the entry for static type s at normalised offset k. It
 // performs only the exact lookup; Match adds the coercion fallbacks.
 func (tl *TypeLayout) Lookup(s *ctypes.Type, k int64) (Entry, bool) {
-	e, ok := tl.entries[entKey{s, k}]
-	return e, ok
+	return tl.core.lookupID(tl.idFor(s), k)
 }
 
 // Match performs the full §5 lookup sequence for static type s at raw
@@ -120,8 +137,8 @@ func (tl *TypeLayout) Match(s *ctypes.Type, k int64) (Entry, Coercion, bool) {
 		bestCo Coercion
 		found  bool
 	)
-	try := func(key *ctypes.Type, co Coercion) bool {
-		e, ok := tl.entries[entKey{key, k}]
+	try := func(id uint64, co Coercion) bool {
+		e, ok := tl.core.lookupID(id, k)
 		if !ok {
 			return false
 		}
@@ -134,22 +151,28 @@ func (tl *TypeLayout) Match(s *ctypes.Type, k int64) (Entry, Coercion, bool) {
 		}
 		return false
 	}
-	if try(s, MatchExact) {
+	if try(tl.idFor(s), MatchExact) {
 		return bestE, bestCo, true
 	}
 	// char[] -> S[] coercion: the sub-object at k is a raw char buffer.
-	for _, ck := range []*ctypes.Type{ctypes.Char, ctypes.UChar, ctypes.SChar} {
-		if try(ck, MatchChar) {
+	// (If the element type is itself a char flavour, its key was sealed
+	// as the self sentinel — translate like any other query key.)
+	for i, ck := range charKeys {
+		id := charKeyIDs[i]
+		if ck == tl.Elem {
+			id = selfKeyID
+		}
+		if try(id, MatchChar) {
 			return bestE, bestCo, true
 		}
 	}
 	if s.Kind == ctypes.KindPointer {
 		if s.Elem == ctypes.Void {
 			// void* static type matches any pointer slot.
-			if try(anyPtrKey, MatchVoidPtr) {
+			if try(anyPtrKeyID, MatchVoidPtr) {
 				return bestE, bestCo, true
 			}
-		} else if try(voidSlotKey, MatchVoidPtr) {
+		} else if try(voidSlotKeyID, MatchVoidPtr) {
 			// Any pointer static type matches a void* slot.
 			return bestE, bestCo, true
 		}
@@ -157,68 +180,21 @@ func (tl *TypeLayout) Match(s *ctypes.Type, k int64) (Entry, Coercion, bool) {
 	return bestE, bestCo, found
 }
 
-// Cache builds and memoises TypeLayouts. It is safe for concurrent use:
-// the runtime consults it on every type check, so the read path must not
-// serialise checkers. Reads go through an atomic pointer to an immutable
-// map; writers copy the map, insert, and republish (copy-on-write). The
-// type population is small and stops growing quickly, so writes are rare
-// and the read path is a single atomic load plus a map lookup.
-type Cache struct {
-	m  atomic.Pointer[map[*ctypes.Type]*TypeLayout]
-	mu sync.Mutex // serialises writers only; readers never take it
-}
-
-// NewCache returns an empty layout cache.
-func NewCache() *Cache {
-	c := &Cache{}
-	m := make(map[*ctypes.Type]*TypeLayout)
-	c.m.Store(&m)
-	return c
-}
-
-// For returns the layout hash table for element type t, building it on
-// first use. In the paper the tables are emitted at compile time, one weak
-// symbol per type per module; building lazily at runtime is equivalent
-// because the tables are pure functions of the type.
-func (c *Cache) For(t *ctypes.Type) *TypeLayout {
-	if tl := (*c.m.Load())[t]; tl != nil {
-		return tl
-	}
-	tl := Build(t)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cur := *c.m.Load()
-	if prev, ok := cur[t]; ok {
-		// A concurrent checker built the same table first; keep its copy
-		// so every caller sees one canonical *TypeLayout per type.
-		return prev
-	}
-	next := make(map[*ctypes.Type]*TypeLayout, len(cur)+1)
-	for k, v := range cur {
-		next[k] = v
-	}
-	next[t] = tl
-	c.m.Store(&next)
-	return tl
-}
-
-// Len returns the number of memoised layouts (for tests).
-func (c *Cache) Len() int { return len(*c.m.Load()) }
-
-// Build constructs the layout hash table for element type t.
+// Build constructs the layout hash table for element type t. The result
+// holds a freshly sealed, not-yet-interned core; Cache.For routes it
+// through the intern pool so isomorphic types share storage.
 func Build(t *ctypes.Type) *TypeLayout {
 	tl := &TypeLayout{
 		Elem:      t,
 		ElemSize:  sizeForLayout(t),
 		FAMOffset: -1,
-		entries:   make(map[entKey]Entry),
 	}
 	if t.IsRecord() && t.HasFAM() {
 		fam := t.FAM()
 		tl.FAMOffset = fam.Offset
 		tl.FAMElemSize = fam.Type.Elem.Size()
 	}
-	b := &builder{tl: tl}
+	b := &builder{entries: make(map[entKey]Entry)}
 	b.emitObject(t, 0)
 	// The containing incomplete array T[]: a pointer to any element start
 	// may roam the whole allocation (Fig. 2 rule (d) applied to the
@@ -229,11 +205,12 @@ func Build(t *ctypes.Type) *TypeLayout {
 	// against int[] is confined to its row — crossing rows is precisely
 	// the sub-object overflow EffectiveSan detects.
 	b.add(t, 0, Entry{Lo: UnboundedLo, Hi: UnboundedHi})
+	tl.core = seal(t, tl.ElemSize, tl.FAMOffset, tl.FAMElemSize, b.entries)
 	return tl
 }
 
 type builder struct {
-	tl *TypeLayout
+	entries map[entKey]Entry
 }
 
 // add installs an entry under key (s, k), applying the tie-breaking rules
@@ -241,10 +218,10 @@ type builder struct {
 // bounds win, then the earlier (lower Lo) sub-object.
 func (b *builder) add(s *ctypes.Type, k int64, e Entry) {
 	key := entKey{s, k}
-	if prev, ok := b.tl.entries[key]; ok && !better(e, prev) {
+	if prev, ok := b.entries[key]; ok && !better(e, prev) {
 		return
 	}
-	b.tl.entries[key] = e
+	b.entries[key] = e
 }
 
 // better reports whether a should replace b under the paper's tie-breaking

@@ -82,6 +82,21 @@ type Options struct {
 	// dynamic passes cannot remove them — only the static safety pass
 	// can. Backs the Fig. 8 no-static row.
 	StaticSafe bool
+	// TypeExplosion emits this many extra struct types — the
+	// type-population stress for the layout-metadata layer. The shapes
+	// mix (a) layout-isomorphic families (identical field layouts under
+	// distinct tags and field names, which the structural intern pool
+	// must collapse to one table core), (b) genuinely distinct shapes
+	// (bounded-extent array pairs, so per-table size stays constant and
+	// capped-cache residency is bounded independent of the count), and
+	// (c) types embedding the previous named type by value (which must
+	// NOT intern: nested named records differ structurally). main heats
+	// every type each round through chunked helpers whose accesses
+	// resolve at a nonzero element offset, forcing a real layout-table
+	// build per type — under a small LayoutCacheCap each round churns
+	// the evict/rebuild path. Backs the progen-typeexplosion workload
+	// and the effbench layoutmem experiment.
+	TypeExplosion int
 	// LibFaults additionally emits CONTAINED library-call faults:
 	// overlapping memcpy, strcpy overflowing an array field into its
 	// sibling within one struct, free of an interior pointer, strlen
@@ -162,6 +177,9 @@ func Generate(seed int64, opts Options) string {
 	if opts.StaticSafe {
 		g.emitStaticSafe()
 	}
+	if opts.TypeExplosion > 0 {
+		g.emitTypeExplosion(opts.TypeExplosion)
+	}
 	if opts.LibFaults {
 		g.emitLibFaults()
 	}
@@ -176,6 +194,9 @@ type gen struct {
 	// StaticSafe extents, drawn at emit time so the declarations and the
 	// main-side call constants agree.
 	statTabN, statRecN, statLocN int
+	// xChunks is the number of TypeExplosion heat helpers emitted, so
+	// emitMain knows how many xheat_<c>() calls to drive per round.
+	xChunks int
 }
 
 func (g *gen) pf(format string, args ...any) {
@@ -601,6 +622,115 @@ long stat_bytes(char *c, int n) {
 	g.pf("    return acc;\n}\n\n")
 }
 
+// xClasses are the TypeExplosion isomorphism classes: every scalar type
+// drawn from class c has exactly this field-type sequence, so all of a
+// class's types share one structural layout under distinct tags and
+// field names — the shapes the intern pool must collapse.
+var xClasses = [][]string{
+	{"long", "long"},
+	{"int", "int", "long"},
+	{"double", "long", "int"},
+	{"short", "short", "int", "long"},
+	{"char", "long", "double"},
+	{"int", "double"},
+	{"long", "int", "int", "long"},
+	{"float", "float", "long"},
+}
+
+// xHeatChunk is how many types each xheat_<c>() helper touches; chunking
+// keeps individual function bodies (and their CFGs) small at thousands
+// of types.
+const xHeatChunk = 64
+
+// emitTypeExplosion declares n struct types Tx0..Tx<n-1> (see
+// Options.TypeExplosion for the shape mix) and the chunked heat helpers
+// that malloc a 2-element array of each, touch element [1] — a nonzero
+// offset, off the exact-match fast path, so the check resolves through
+// the layout table and forces a build — and free it. Everything is a
+// pure function of the index: no randomness, so the emitted population
+// is identical across seeds and the intern/eviction counters the
+// layoutmem experiment reads are exactly reproducible.
+func (g *gen) emitTypeExplosion(n int) {
+	kind := func(i int) int {
+		if i%5 == 4 {
+			return 1 // distinct shape: bounded-extent int array pair
+		}
+		if i%7 == 3 && i >= 1 {
+			return 2 // embeds the previous named type by value
+		}
+		return 0 // scalar isomorphism class i%8
+	}
+	for i := 0; i < n; i++ {
+		g.pf("struct Tx%d {\n", i)
+		switch kind(i) {
+		case 1:
+			d := i / 5
+			g.pf("    int g%d_0[%d];\n", i, 2+d%19)
+			g.pf("    int g%d_1[%d];\n", i, 2+(d/19)%17)
+		case 2:
+			g.pf("    struct Tx%d inner%d;\n", i-1, i)
+			g.pf("    long tail%d;\n", i)
+		default:
+			for k, ft := range xClasses[i%8] {
+				g.pf("    %s f%d_%d;\n", ft, i, k)
+			}
+		}
+		g.pf("};\n\n")
+	}
+	// Shared interior-touch helpers, one per scalar flavour: the caller
+	// passes a pointer to a field INSIDE element [xk] of a Tx
+	// allocation, so the callee's entry type check resolves the scalar
+	// static type against the allocation's Tx dynamic type at a nonzero
+	// sub-object offset — off the exact-match fast path, through the
+	// layout table of that Tx type. One shared site fed by every type
+	// also defeats the per-site inline caches (the dynamic type changes
+	// on every call), so each call reaches the layout cache.
+	g.pf(`long xtouch_long(long *p) { p[0] = p[0] + 1; return p[0]; }
+long xtouch_int(int *p) { p[0] = p[0] + 1; return (long)p[0]; }
+long xtouch_short(short *p) { p[0] = (short)(p[0] + 1); return (long)p[0]; }
+long xtouch_char(char *p) { p[0] = (char)(p[0] + 1); return (long)p[0]; }
+long xtouch_float(float *p) { p[0] = p[0] + 1.0; return (long)p[0]; }
+long xtouch_double(double *p) { p[0] = p[0] + 1.0; return (long)p[0]; }
+
+`)
+	g.xChunks = (n + xHeatChunk - 1) / xHeatChunk
+	for c := 0; c < g.xChunks; c++ {
+		g.pf("long xheat_%d() {\n", c)
+		g.pf("    long acc = 0;\n")
+		// The element index is loaded from the heap: loaded values are
+		// Top to the static safety analysis (mir/absint), so the
+		// accesses below survive to runtime — a constant [1] would be
+		// proven in-bounds and deleted. The runtime value is still
+		// deterministically 1, so the program stays clean by
+		// construction.
+		g.pf("    long *xi = malloc(1 * sizeof(long));\n")
+		g.pf("    xi[0] = 1;\n")
+		g.pf("    int xk = (int)xi[0];\n")
+		for i := c * xHeatChunk; i < n && i < (c+1)*xHeatChunk; i++ {
+			g.pf("    struct Tx%d *x%d = malloc(2 * sizeof(struct Tx%d));\n", i, i, i)
+			switch kind(i) {
+			case 1:
+				g.pf("    x%d[xk].g%d_0[1] = %d;\n", i, i, 1+i%9)
+				g.pf("    acc += xtouch_int(&x%d[xk].g%d_0[1]);\n", i, i)
+			case 2:
+				g.pf("    x%d[xk].tail%d = (long)%d;\n", i, i, 1+i%9)
+				g.pf("    acc += xtouch_long(&x%d[xk].tail%d);\n", i, i)
+			default:
+				ft := xClasses[i%8][0]
+				if ft == "float" || ft == "double" {
+					g.pf("    x%d[xk].f%d_0 = x%d[xk].f%d_0 + 1.0;\n", i, i, i, i)
+				} else {
+					g.pf("    x%d[xk].f%d_0 = (%s)%d;\n", i, i, ft, 1+i%9)
+				}
+				g.pf("    acc += xtouch_%s(&x%d[xk].f%d_0);\n", ft, i, i)
+			}
+			g.pf("    free(x%d);\n", i)
+		}
+		g.pf("    free(xi);\n")
+		g.pf("    return acc;\n}\n\n")
+	}
+}
+
 // emitLibFaults emits the contained library-fault helpers (see
 // Options.LibFaults for the determinism contract each relies on):
 //
@@ -765,6 +895,15 @@ func (g *gen) emitMain(opts Options) {
 		g.pf("        acc += stat_cast((long *)gstat, %d);\n", 3+g.r.Intn(6))
 		g.pf("        acc += stat_bytes((char *)stat_tab, %d);\n", 8*g.statTabN)
 		g.pf("        acc += stat_local();\n")
+		g.pf("    }\n")
+	}
+	if g.xChunks > 0 {
+		// Heat every exploded type each round; the helpers malloc and
+		// free internally, so there is nothing for main to clean up.
+		g.pf("    for (int r = 0; r < %d; r++) {\n", opts.Rounds)
+		for c := 0; c < g.xChunks; c++ {
+			g.pf("        acc += xheat_%d();\n", c)
+		}
 		g.pf("    }\n")
 	}
 	if opts.LibFaults {

@@ -1,0 +1,164 @@
+package sanitizers
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bugsuite"
+	"repro/internal/spec"
+)
+
+// execTypeExplosion runs the progen-typeexplosion workload at population
+// n under the tool and returns the result.
+func execTypeExplosion(t *testing.T, tool *Tool, n int) *RunResult {
+	t.Helper()
+	b := spec.TypeExplosionN(n)
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatalf("typeexplosion(%d): %v", n, err)
+	}
+	res, err := tool.Exec(prog, b.Entry, io.Discard)
+	if err != nil {
+		t.Fatalf("typeexplosion(%d) under %s: %v", n, tool.Name, err)
+	}
+	if issues := res.Reporter.NumIssues(); issues != 0 {
+		t.Fatalf("typeexplosion(%d) under %s: %d issues on a clean program",
+			n, tool.Name, issues)
+	}
+	return res
+}
+
+// cappedResidentBudget is the acceptance bound for LayoutBytesResident
+// under LayoutCacheCap=256: a constant independent of the type
+// population. The per-table footprint is bounded by construction (the
+// TypeExplosion array extents are capped at 20 and 18 elements), so 256
+// resident tables fit comfortably; the budget leaves ~10x headroom over
+// the measured ~90 KiB so the assertion pins the ORDER, not the byte.
+const cappedResidentBudget = 1 << 20
+
+// TestLayoutMemBoundedResidency is the tentpole acceptance test: on the
+// type-explosion workload, uncapped layout residency grows with the
+// population while the capped cache's stays under a constant budget,
+// the intern pool collapses isomorphic shapes, and the capped run
+// actually exercises eviction and rebuild.
+func TestLayoutMemBoundedResidency(t *testing.T) {
+	uncapped := ToolEffectiveSan.Counting()
+	capped := ToolEffectiveSan.Counting().WithLayoutCacheCap(256)
+
+	small := execTypeExplosion(t, uncapped, 800)
+	big := execTypeExplosion(t, uncapped, 2000)
+	smallC := execTypeExplosion(t, capped, 800)
+	bigC := execTypeExplosion(t, capped, 2000)
+
+	rSmall := small.Stats.LayoutResidentBytes()
+	rBig := big.Stats.LayoutResidentBytes()
+	t.Logf("uncapped resident: n=800 %d B, n=2000 %d B", rSmall, rBig)
+	t.Logf("capped-256 resident: n=800 %d B, n=2000 %d B",
+		smallC.Stats.LayoutResidentBytes(), bigC.Stats.LayoutResidentBytes())
+	t.Logf("uncapped n=2000: built=%d interned=%d (rate %.2f)",
+		big.Stats.LayoutTablesBuilt, big.Stats.LayoutTablesInterned,
+		big.Stats.LayoutInternRate())
+	t.Logf("capped n=2000: built=%d interned=%d evicted=%d",
+		bigC.Stats.LayoutTablesBuilt, bigC.Stats.LayoutTablesInterned,
+		bigC.Stats.LayoutTablesEvicted)
+
+	// Uncapped residency grows with the population: every distinct
+	// identity keeps at least its wrapper resident, so the gap is at
+	// least the wrapper cost of the extra 1200 types.
+	if rBig <= rSmall {
+		t.Errorf("uncapped residency did not grow: %d B at n=800 vs %d B at n=2000",
+			rSmall, rBig)
+	}
+	// Capped residency is bounded by a constant independent of n.
+	for n, res := range map[int]*RunResult{800: smallC, 2000: bigC} {
+		if r := res.Stats.LayoutResidentBytes(); r > cappedResidentBudget {
+			t.Errorf("capped-256 residency at n=%d is %d B, want <= %d",
+				n, r, int64(cappedResidentBudget))
+		}
+	}
+	if got, limit := bigC.Stats.LayoutResidentBytes(), rBig; got >= limit {
+		t.Errorf("capped residency %d B not below uncapped %d B at n=2000", got, limit)
+	}
+	// The intern pool must collapse the isomorphic families.
+	if big.Stats.LayoutTablesInterned == 0 {
+		t.Error("no layout tables interned on the isomorphism-heavy workload")
+	}
+	// The capped run must actually evict, and rebuild evicted tables on
+	// the next round (more builds than the uncapped run's one-per-type).
+	if bigC.Stats.LayoutTablesEvicted == 0 {
+		t.Error("capped-256 run evicted nothing at n=2000")
+	}
+	if bigC.Stats.LayoutTablesBuilt <= big.Stats.LayoutTablesBuilt {
+		t.Errorf("capped run built %d tables, want more than uncapped %d (rebuild after evict)",
+			bigC.Stats.LayoutTablesBuilt, big.Stats.LayoutTablesBuilt)
+	}
+}
+
+// TestLayoutCapValueParityTypeExplosion: the cap and intern machinery
+// must not change program semantics — the workload's value is identical
+// under no instrumentation, the default cache and an aggressively small
+// cap.
+func TestLayoutCapValueParityTypeExplosion(t *testing.T) {
+	base := execTypeExplosion(t, ToolUninstrumented, 256)
+	for _, tool := range []*Tool{
+		ToolEffectiveSan,
+		ToolEffectiveSan.WithLayoutCacheCap(64),
+		ToolEffectiveSan.WithLayoutCacheCap(4096),
+	} {
+		res := execTypeExplosion(t, tool, 256)
+		if res.Value != base.Value {
+			t.Errorf("%s: value %d != uninstrumented %d", tool.Name, res.Value, base.Value)
+		}
+	}
+}
+
+// TestLayoutCapDetectionParityFig1 runs the Fig. 1 error-injection
+// corpus with the layout cache capped at 64: eviction and rebuild are
+// performance-only, so detection must match the unbounded default case
+// by case.
+func TestLayoutCapDetectionParityFig1(t *testing.T) {
+	capped := ToolEffectiveSan.WithLayoutCacheCap(64)
+	for _, c := range bugsuite.Cases() {
+		prog, err := c.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		rd, err := ToolEffectiveSan.Exec(prog, "main", io.Discard)
+		if err != nil {
+			t.Fatalf("%s default: %v", c.Name, err)
+		}
+		rc, err := capped.Exec(prog, "main", io.Discard)
+		if err != nil {
+			t.Fatalf("%s capped: %v", c.Name, err)
+		}
+		if got, want := issueSummary(rc), issueSummary(rd); got != want {
+			t.Errorf("%s: capped issues %q != default %q", c.Name, got, want)
+		}
+	}
+}
+
+// TestLayoutCapDetectionParityFig7 proves the same parity on all 19
+// Fig. 7 SPEC workloads, including value identity.
+func TestLayoutCapDetectionParityFig7(t *testing.T) {
+	capped := ToolEffectiveSan.WithLayoutCacheCap(64)
+	for _, b := range spec.Benchmarks() {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		rd, err := ToolEffectiveSan.Exec(prog, b.Entry, io.Discard)
+		if err != nil {
+			t.Fatalf("%s default: %v", b.Name, err)
+		}
+		rc, err := capped.Exec(prog, b.Entry, io.Discard)
+		if err != nil {
+			t.Fatalf("%s capped: %v", b.Name, err)
+		}
+		if rc.Value != rd.Value {
+			t.Errorf("%s: capped value %d != default %d", b.Name, rc.Value, rd.Value)
+		}
+		if got, want := issueSummary(rc), issueSummary(rd); got != want {
+			t.Errorf("%s: capped issues %q != default %q", b.Name, got, want)
+		}
+	}
+}

@@ -127,6 +127,7 @@ func (t *Tool) ExecSharded(prog *mir.Program, entry string, jobs, threads int, o
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,
 			CheckCacheSize: t.CheckCache, NoInlineCache: t.NoInlineCache,
 			EpochChecks: t.EpochChecks, EpochCap: t.EpochCap,
+			LayoutCacheCap: t.LayoutCacheCap,
 		})
 		res.Reporter = rt.Reporter
 	}

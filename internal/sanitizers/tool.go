@@ -71,6 +71,11 @@ type Tool struct {
 	// EpochCap bounds the pending-evidence log; a full log forces an
 	// epoch (0 = default). Small caps stress mid-loop epoch boundaries.
 	EpochCap int
+	// LayoutCacheCap bounds the number of resident layout tables (clock
+	// eviction, rebuild on demand; 0 = unbounded) —
+	// core.Options.LayoutCacheCap. Any cap is detection-identical; small
+	// caps stress the evict/rebuild path.
+	LayoutCacheCap int
 	// NoMagazines makes sharded workers allocate directly from the
 	// shared central heap instead of through per-worker magazines (the
 	// serialized-allocator ablation for the alloc-heavy Fig. 10 row).
@@ -197,6 +202,16 @@ func (t *Tool) WithEpochCap(n int) *Tool {
 	return &cp
 }
 
+// WithLayoutCacheCap returns a copy of the tool with a bound on resident
+// layout tables (0 = unbounded). Evicted tables rebuild on demand —
+// tables are pure functions of the type — so detection is identical at
+// any cap; only build/evict counters and the resident-bytes gauge move.
+func (t *Tool) WithLayoutCacheCap(n int) *Tool {
+	cp := *t
+	cp.LayoutCacheCap = n
+	return &cp
+}
+
 // Named returns a copy of the tool under a different display name (for
 // ablation bars).
 func (t *Tool) Named(name string) *Tool {
@@ -300,6 +315,7 @@ func (t *Tool) Exec(prog *mir.Program, entry string, out io.Writer, args ...uint
 			Types: prog.Types, Mode: t.Mode, Quarantine: t.Quarantine,
 			CheckCacheSize: t.CheckCache, NoInlineCache: t.NoInlineCache,
 			EpochChecks: t.EpochChecks, EpochCap: t.EpochCap,
+			LayoutCacheCap: t.LayoutCacheCap,
 		})
 		res.Reporter = rt.Reporter
 		in, err = mir.New(ip, mir.Options{Env: mir.NewEffEnv(rt), Out: out})
